@@ -1,0 +1,16 @@
+package gem5art_test
+
+import (
+	"gem5art/internal/sim/mem"
+)
+
+// memSystem aliases the memory-system interface for the bench helpers.
+type memSystem = mem.System
+
+func newClassic(cores int) memSystem {
+	return mem.NewClassic(cores, mem.ClassicConfig{})
+}
+
+func newRuby(cores int, protocol string) memSystem {
+	return mem.NewRuby(cores, mem.Protocol(protocol), mem.ClassicConfig{})
+}

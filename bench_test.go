@@ -1,0 +1,309 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§VI), plus ablations of the design choices DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Reported custom metrics carry the figures' headline numbers so a bench
+// run doubles as a reproduction record (see EXPERIMENTS.md).
+package gem5art_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/database"
+	"gem5art/internal/experiments"
+	"gem5art/internal/resources"
+	"gem5art/internal/sim"
+	"gem5art/internal/sim/cpu"
+	"gem5art/internal/sim/gpu"
+	"gem5art/internal/sim/isa"
+	"gem5art/internal/sim/kernel"
+	"gem5art/internal/workloads"
+)
+
+// BenchmarkTable1Resources regenerates Table I: the 17-entry resource
+// catalog, building every unlicensed resource from its recipe.
+func BenchmarkTable1Resources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reg := artifact.NewRegistry(database.MustOpen(""))
+		built := 0
+		for _, r := range resources.Catalog() {
+			if r.Licensed {
+				continue
+			}
+			if _, err := resources.Build(reg, r.Name, resources.BuildOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			built++
+		}
+		if built != 15 {
+			b.Fatalf("built %d resources", built)
+		}
+	}
+	b.ReportMetric(17, "catalog_entries")
+}
+
+// BenchmarkFig6ParsecOSDiff regenerates Figure 6: the 60-run PARSEC
+// sweep across Ubuntu 18.04/20.04 and {1,2,8} cores on the Table II
+// system, reporting how many applications run slower on 18.04 and how
+// the absolute gap shrinks with cores.
+func BenchmarkFig6ParsecOSDiff(b *testing.B) {
+	var study *experiments.ParsecStudy
+	for i := 0; i < b.N; i++ {
+		env, err := experiments.NewEnv("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		study, err = env.RunParsecStudy(runtime.NumCPU(), nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	slower1 := 0
+	var gap1, gap8 float64
+	for _, app := range study.Apps {
+		if study.Diff(app, 1) > 0 {
+			slower1++
+		}
+		gap1 += study.Diff(app, 1)
+		gap8 += study.Diff(app, 8)
+	}
+	b.ReportMetric(float64(slower1), "apps_slower_on_1804_of_10")
+	b.ReportMetric(gap1/gap8, "gap_narrowing_1c_over_8c")
+}
+
+// BenchmarkFig7ParsecSpeedup regenerates Figure 7: 1->8-core speedups
+// per OS, reporting the mean speedup per image (20.04 slightly higher).
+func BenchmarkFig7ParsecSpeedup(b *testing.B) {
+	var study *experiments.ParsecStudy
+	for i := 0; i < b.N; i++ {
+		env, err := experiments.NewEnv("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		study, err = env.RunParsecStudy(runtime.NumCPU(), nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var s18, s20 float64
+	for _, app := range study.Apps {
+		s18 += study.Speedup(workloads.Ubuntu1804.Name, app, 8)
+		s20 += study.Speedup(workloads.Ubuntu2004.Name, app, 8)
+	}
+	n := float64(len(study.Apps))
+	b.ReportMetric(s18/n, "mean_speedup_ubuntu1804")
+	b.ReportMetric(s20/n, "mean_speedup_ubuntu2004")
+}
+
+// BenchmarkFig8BootMatrix regenerates Figure 8: the full 480-cell boot
+// cross product, reporting the paper's O3 failure taxonomy (27 panics,
+// 11 segfaults, 4 deadlocks, 16 timeouts).
+func BenchmarkFig8BootMatrix(b *testing.B) {
+	var study *experiments.BootStudy
+	for i := 0; i < b.N; i++ {
+		env, err := experiments.NewEnv("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		study, err = env.RunBootSweep(runtime.NumCPU(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	o3 := study.Counts(cpu.O3)
+	b.ReportMetric(float64(len(study.Cells)), "boot_cells")
+	b.ReportMetric(float64(o3["kernel-panic"]), "o3_kernel_panics")
+	b.ReportMetric(float64(o3["sim-crash"]), "o3_segfaults")
+	b.ReportMetric(float64(o3["deadlock"]), "o3_deadlocks")
+	b.ReportMetric(float64(o3["timeout"]), "o3_timeouts")
+	b.ReportMetric(float64(o3["success"]), "o3_successes")
+}
+
+// BenchmarkTable4GPUWorkloads regenerates Table IV: validates all 29
+// workload descriptors against the Table III configuration and runs each
+// once under the simple allocator.
+func BenchmarkTable4GPUWorkloads(b *testing.B) {
+	ws := workloads.GPUWorkloads()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			if err := w.Kernel.Validate(gpu.Config{}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := gpu.Run(gpu.Config{}, w.Kernel, gpu.Simple); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(ws)), "table4_workloads")
+}
+
+// BenchmarkFig9RegisterAllocators regenerates Figure 9: all 29 workloads
+// under both allocators (58 runs through the gem5art stack), reporting
+// the headline comparisons.
+func BenchmarkFig9RegisterAllocators(b *testing.B) {
+	var study *experiments.GPUStudy
+	for i := 0; i < b.N; i++ {
+		env, err := experiments.NewEnv("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		study, err = env.RunGPUStudy(runtime.NumCPU(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(study.MeanSimpleAdvantage(), "mean_simple_advantage_paper_1.08")
+	b.ReportMetric((1/study.Speedup("FAMutex")-1)*100, "famutex_pct_worse_paper_61")
+	b.ReportMetric((1/study.Speedup("fwd_pool")-1)*100, "fwdpool_pct_worse_paper_22")
+	b.ReportMetric(study.Speedup("MatrixTranspose"), "matrixtranspose_speedup")
+}
+
+// --- Ablations ---------------------------------------------------------
+
+// BenchmarkAblationArtifactDedup measures registration cost as the
+// database grows: the unique-index dedup path must not degrade insert
+// latency into uselessness (the paper's duplicate-prevention guarantee).
+func BenchmarkAblationArtifactDedup(b *testing.B) {
+	for _, preload := range []int{0, 100, 1000} {
+		b.Run(fmt.Sprintf("existing-%d", preload), func(b *testing.B) {
+			reg := artifact.NewRegistry(database.MustOpen(""))
+			for i := 0; i < preload; i++ {
+				if _, err := reg.Register(artifact.Options{
+					Name: fmt.Sprintf("a%d", i), Typ: "t", Path: "p",
+					Content: []byte(fmt.Sprintf("content-%d", i)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.Register(artifact.Options{
+					Name: "fresh", Typ: "t", Path: "p",
+					Content: []byte(fmt.Sprintf("fresh-%d", i)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemSystems compares the three memory systems on the
+// same sharing-heavy workload, reporting simulated time (classic fastest
+// and least faithful; MI_example slowest on shared data).
+func BenchmarkAblationMemSystems(b *testing.B) {
+	prog := func() *isa.Program {
+		return isa.Generate(isa.GenSpec{Name: "shared", Seed: 11, Iterations: 400,
+			BodyOps: 24, Mix: isa.Mix{Load: 0.4, Store: 0.1, Atomic: 0.05},
+			FootprintWords: 1 << 12, SharedWords: 8})
+	}
+	for _, memName := range []string{"classic", "ruby.MI_example", "ruby.MESI_Two_Level"} {
+		b.Run(memName, func(b *testing.B) {
+			var ticks sim.Tick
+			for i := 0; i < b.N; i++ {
+				m := buildMem(b, memName, 4)
+				system := cpu.NewSystem(cpu.Config{Model: cpu.Timing, Cores: 4}, m)
+				for c := 0; c < 4; c++ {
+					system.LoadProgram(c, prog())
+				}
+				res := system.Run(0)
+				if !res.Finished {
+					b.Fatal("did not finish")
+				}
+				ticks = res.SimTicks
+			}
+			b.ReportMetric(float64(ticks), "sim_ticks")
+		})
+	}
+}
+
+// BenchmarkAblationCPUModels compares simulation cost (host time) and
+// simulated time across the four CPU models on one workload — the
+// speed/fidelity tradeoff Figure 8's caption describes.
+func BenchmarkAblationCPUModels(b *testing.B) {
+	prog := func() *isa.Program {
+		return isa.Generate(isa.GenSpec{Name: "mix", Seed: 12, Iterations: 2000,
+			BodyOps: 32, Mix: isa.Mix{Load: 0.25, Store: 0.1, Branch: 0.1, MulDiv: 0.05},
+			FootprintWords: 1 << 14, StrideWords: 3})
+	}
+	for _, model := range cpu.AllModels {
+		b.Run(string(model), func(b *testing.B) {
+			var ticks sim.Tick
+			for i := 0; i < b.N; i++ {
+				m := buildMem(b, "classic", 1)
+				system := cpu.NewSystem(cpu.Config{Model: model, Cores: 1}, m)
+				system.LoadProgram(0, prog())
+				res := system.Run(0)
+				if !res.Finished {
+					b.Fatal("did not finish")
+				}
+				ticks = res.SimTicks
+			}
+			b.ReportMetric(float64(ticks), "sim_ticks")
+		})
+	}
+}
+
+// BenchmarkAblationGPUScoreboard ablates the GPU dependence tracker: the
+// paper's §VI-C diagnosis says the simplistic tracker is why dynamic
+// loses; with the precise tracker the pooling layers flip to dynamic.
+func BenchmarkAblationGPUScoreboard(b *testing.B) {
+	w, err := workloads.FindGPUWorkload("fwd_pool")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, precise := range []bool{false, true} {
+		name := "simplistic"
+		if precise {
+			name = "precise"
+		}
+		b.Run(name, func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				sp, err = gpu.Speedup(gpu.Config{PreciseDeps: precise}, w.Kernel)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sp, "dynamic_speedup")
+		})
+	}
+}
+
+// BenchmarkAblationPoolWidth measures boot-sweep throughput at different
+// task-pool widths — the "schedule as the host system allows" knob.
+func BenchmarkAblationPoolWidth(b *testing.B) {
+	cells := kernel.Sweep()[:48]
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env, err := experiments.NewEnv("")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := env.RunBootSweep(workers, cells); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func buildMem(b *testing.B, name string, cores int) memSystem {
+	b.Helper()
+	switch name {
+	case "classic":
+		return newClassic(cores)
+	case "ruby.MI_example":
+		return newRuby(cores, "MI_example")
+	case "ruby.MESI_Two_Level":
+		return newRuby(cores, "MESI_Two_Level")
+	}
+	b.Fatalf("unknown mem %q", name)
+	return nil
+}

@@ -1,0 +1,225 @@
+// Command gem5art drives the framework end-to-end: it reproduces the
+// paper's three use cases, inspects the database, and can distribute
+// boot jobs to gem5worker processes over TCP.
+//
+// Usage:
+//
+//	gem5art parsec  [-db DIR] [-workers N] [-quick]
+//	gem5art boot    [-db DIR] [-workers N] [-quick]
+//	gem5art gpu     [-db DIR] [-workers N] [-quick]
+//	gem5art tables
+//	gem5art summary -db DIR
+//	gem5art artifacts -db DIR
+//	gem5art distribute [-listen ADDR] [-min-workers N]   (then start gem5worker)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gem5art/internal/core/launch"
+	"gem5art/internal/core/tasks"
+	"gem5art/internal/database"
+	"gem5art/internal/experiments"
+	"gem5art/internal/sim/kernel"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "parsec":
+		err = useCase(os.Args[2:], runParsec)
+	case "boot":
+		err = useCase(os.Args[2:], runBoot)
+	case "gpu":
+		err = useCase(os.Args[2:], runGPU)
+	case "tables":
+		fmt.Print(experiments.RenderTable1())
+		fmt.Println()
+		fmt.Print(experiments.RenderTable2())
+		fmt.Println()
+		fmt.Print(experiments.RenderTable3())
+		fmt.Println()
+		fmt.Print(experiments.RenderTable4())
+	case "summary":
+		err = summaryCmd(os.Args[2:])
+	case "artifacts":
+		err = artifactsCmd(os.Args[2:])
+	case "report":
+		err = reportCmd(os.Args[2:])
+	case "distribute":
+		err = distributeCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5art:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gem5art <parsec|boot|gpu|tables|report|summary|artifacts|distribute> [flags]`)
+	os.Exit(2)
+}
+
+type caseOpts struct {
+	env     *experiments.Env
+	workers int
+	quick   bool
+}
+
+func useCase(args []string, fn func(caseOpts) error) error {
+	fs := flag.NewFlagSet("usecase", flag.ExitOnError)
+	dbDir := fs.String("db", "", "database directory (default: in-memory)")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel simulations")
+	quick := fs.Bool("quick", false, "run a reduced sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := experiments.NewEnv(*dbDir)
+	if err != nil {
+		return err
+	}
+	defer env.DB().Close()
+	start := time.Now()
+	if err := fn(caseOpts{env: env, workers: *workers, quick: *quick}); err != nil {
+		return err
+	}
+	fmt.Printf("\ncompleted in %v; %s\n", time.Since(start).Round(time.Millisecond),
+		launch.Summarize(env.DB()))
+	return nil
+}
+
+func runParsec(o caseOpts) error {
+	apps, cores := []string(nil), []int(nil)
+	if o.quick {
+		apps, cores = []string{"blackscholes", "dedup"}, []int{1, 8}
+	}
+	study, err := o.env.RunParsecStudy(o.workers, apps, cores)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable2())
+	fmt.Println()
+	fmt.Print(study.RenderFig6())
+	fmt.Println()
+	fmt.Print(study.RenderFig7())
+	return nil
+}
+
+func runBoot(o caseOpts) error {
+	cells := kernel.Sweep()
+	if o.quick {
+		cells = cells[:60]
+	}
+	study, err := o.env.RunBootSweep(o.workers, cells)
+	if err != nil {
+		return err
+	}
+	fmt.Print(study.RenderFig8())
+	fmt.Println(study.Summary())
+	return nil
+}
+
+func runGPU(o caseOpts) error {
+	apps := []string(nil)
+	if o.quick {
+		apps = []string{"FAMutex", "fwd_pool", "MatrixTranspose", "2dshfl"}
+	}
+	study, err := o.env.RunGPUStudy(o.workers, apps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable3())
+	fmt.Println()
+	fmt.Print(study.RenderFig9())
+	return nil
+}
+
+func summaryCmd(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	dbDir := fs.String("db", "", "database directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := database.Open(*dbDir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	fmt.Println(launch.Summarize(db))
+	return nil
+}
+
+func artifactsCmd(args []string) error {
+	fs := flag.NewFlagSet("artifacts", flag.ExitOnError)
+	dbDir := fs.String("db", "", "database directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, err := database.Open(*dbDir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	docs := db.Collection("artifacts").Find(nil)
+	fmt.Printf("%-28s %-18s %-34s %s\n", "NAME", "TYPE", "HASH", "PATH")
+	for _, d := range docs {
+		fmt.Printf("%-28v %-18v %-34.32v %v\n", d["name"], d["type"], d["hash"], d["path"])
+	}
+	return nil
+}
+
+// distributeCmd demonstrates the Celery-style path: it starts a broker,
+// waits for gem5worker connections, fans the quick boot sweep out to
+// them, and prints the outcomes.
+func distributeCmd(args []string) error {
+	fs := flag.NewFlagSet("distribute", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:7733", "broker listen address")
+	minWorkers := fs.Int("min-workers", 1, "wait for this many workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	broker, err := tasks.NewBroker(*listen)
+	if err != nil {
+		return err
+	}
+	defer broker.Close()
+	fmt.Printf("broker listening on %s; start gem5worker -broker %s\n", broker.Addr(), broker.Addr())
+	_ = *minWorkers // workers may attach at any time; jobs queue until they do
+
+	cells := kernel.Sweep()[:40]
+	for i, c := range cells {
+		payload, err := json.Marshal(map[string]any{
+			"kernel": string(c.Kernel), "cpu": string(c.CPU), "mem": c.Mem,
+			"cores": c.Cores, "boot": string(c.Boot),
+		})
+		if err != nil {
+			return err
+		}
+		broker.Submit(tasks.Job{ID: fmt.Sprintf("boot-%d", i), Kind: "boot", Payload: payload})
+	}
+	counts := map[string]int{}
+	for done := 0; done < len(cells); done++ {
+		r := <-broker.Results()
+		if r.Err != "" {
+			counts["error"]++
+			continue
+		}
+		var out struct {
+			Outcome string `json:"outcome"`
+		}
+		_ = json.Unmarshal(r.Output, &out)
+		counts[out.Outcome]++
+	}
+	fmt.Printf("distributed %d boot jobs; outcomes: %v\n", len(cells), counts)
+	return nil
+}

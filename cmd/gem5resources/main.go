@@ -1,0 +1,90 @@
+// Command gem5resources browses and builds the resource catalog — the
+// analogue of gem5-resources plus its status page.
+//
+// Usage:
+//
+//	gem5resources list
+//	gem5resources status -release v20.1.0.4
+//	gem5resources build -name parsec -db ./gem5art-db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/database"
+	"gem5art/internal/resources"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		fmt.Print(resources.Table())
+	case "status":
+		err = statusCmd(os.Args[2:])
+	case "build":
+		err = buildCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5resources:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gem5resources list | status [-release R] | build -name N [-db DIR]")
+	os.Exit(2)
+}
+
+func statusCmd(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	release := fs.String("release", "v21.0", "gem5 release")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	status, err := resources.Status(*release)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resource compatibility with gem5 %s:\n", *release)
+	for _, name := range resources.Names() {
+		fmt.Printf("  %-14s %s\n", name, status[name])
+	}
+	return nil
+}
+
+func buildCmd(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	name := fs.String("name", "", "resource to build")
+	dbDir := fs.String("db", "", "database directory (default: in-memory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("build requires -name")
+	}
+	db, err := database.Open(*dbDir)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	reg := artifact.NewRegistry(db)
+	a, err := resources.Build(reg, *name, resources.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %s\n  type: %s\n  hash: %s\n  path: %s\n  recipe: %s\n",
+		a.Name, a.Typ, a.Hash, a.Path, a.Command)
+	if meta, ok := db.Files().Stat(a.Hash); ok {
+		fmt.Printf("  size: %d bytes (%d chunks)\n", meta.Length, meta.Chunks)
+	}
+	return nil
+}

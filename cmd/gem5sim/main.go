@@ -1,0 +1,128 @@
+// Command gem5sim runs a single full-system simulation directly — the
+// analogue of invoking the gem5 binary by hand, without the gem5art
+// bookkeeping. It is useful for poking at the simulator models.
+//
+// Usage:
+//
+//	gem5sim -workload boot -kernel 5.4.49 -cpu TimingSimpleCPU \
+//	        -mem classic -cores 2 -boot init
+//	gem5sim -workload parsec -benchmark dedup -os ubuntu-20.04 -cores 8
+//	gem5sim -workload gpu -benchmark FAMutex -alloc dynamic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5art/internal/sim"
+	"gem5art/internal/sim/cpu"
+	"gem5art/internal/sim/gpu"
+	"gem5art/internal/sim/isa"
+	"gem5art/internal/sim/kernel"
+	"gem5art/internal/sim/mem"
+	"gem5art/internal/workloads"
+)
+
+// traceInsts holds the -trace flag; when positive, boot-workload runs
+// print an Exec-style trace of the first N instructions.
+var traceInsts int64
+
+func main() {
+	var (
+		workload  = flag.String("workload", "boot", "boot | parsec | gpu")
+		kver      = flag.String("kernel", "5.4.49", "Linux kernel version (boot)")
+		cpuModel  = flag.String("cpu", "TimingSimpleCPU", "CPU model")
+		memSys    = flag.String("mem", "classic", "classic | ruby.MI_example | ruby.MESI_Two_Level")
+		cores     = flag.Int("cores", 1, "CPU count")
+		bootType  = flag.String("boot", "init", "init | systemd (boot)")
+		benchmark = flag.String("benchmark", "blackscholes", "benchmark name (parsec/gpu)")
+		osName    = flag.String("os", "ubuntu-18.04", "disk image OS (parsec)")
+		alloc     = flag.String("alloc", "simple", "GPU register allocator (gpu)")
+		trace     = flag.Int64("trace", 0, "print the first N executed instructions (boot)")
+	)
+	flag.Parse()
+	traceInsts = *trace
+	if err := runCLI(*workload, *kver, *cpuModel, *memSys, *cores, *bootType,
+		*benchmark, *osName, *alloc); err != nil {
+		fmt.Fprintln(os.Stderr, "gem5sim:", err)
+		os.Exit(1)
+	}
+}
+
+func runCLI(workload, kver, cpuModel, memSys string, cores int,
+	bootType, benchmark, osName, alloc string) error {
+	switch workload {
+	case "boot":
+		if traceInsts > 0 {
+			return traceBoot(cpuModel, cores)
+		}
+		res := kernel.Boot(kernel.Spec{
+			Kernel: kernel.Version(kver),
+			CPU:    cpu.Model(cpuModel),
+			Mem:    memSys,
+			Cores:  cores,
+			Boot:   kernel.BootType(bootType),
+		}, 0)
+		fmt.Printf("outcome:     %s\n", res.Outcome)
+		fmt.Printf("sim seconds: %.6f\n", res.SimTicks.Seconds())
+		fmt.Printf("insts:       %d\n", res.Insts)
+		fmt.Printf("console:\n%s\n", res.Console)
+		return nil
+	case "parsec":
+		app, err := workloads.FindParsec(benchmark)
+		if err != nil {
+			return err
+		}
+		var img workloads.OSImage
+		found := false
+		for _, o := range workloads.OSImages {
+			if o.Name == osName {
+				img, found = o, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown OS %q", osName)
+		}
+		m, err := workloads.ExecParsec(app, img, cores)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("benchmark:   %s (%s, %d cores)\n", m.App, m.OS, m.Cores)
+		fmt.Printf("sim seconds: %.6f\n", m.SimSeconds)
+		fmt.Printf("insts:       %d\n", m.Insts)
+		fmt.Printf("ipc:         %.3f\n", m.IPC)
+		return nil
+	case "gpu":
+		w, err := workloads.FindGPUWorkload(benchmark)
+		if err != nil {
+			return err
+		}
+		res, err := gpu.Run(gpu.Config{}, w.Kernel, gpu.Allocator(alloc))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("kernel:        %s (%s)\n", res.Kernel, res.Allocator)
+		fmt.Printf("shader ticks:  %d\n", res.Cycles)
+		fmt.Printf("ops:           %d\n", res.Ops)
+		fmt.Printf("avg occupancy: %.2f waves/CU\n", res.AvgOccupancy)
+		return nil
+	}
+	return fmt.Errorf("unknown workload %q", workload)
+}
+
+// traceBoot runs the boot-exit workload with instruction tracing — the
+// analogue of gem5's --debug-flags=Exec.
+func traceBoot(cpuModel string, cores int) error {
+	m := mem.NewClassic(cores, mem.ClassicConfig{})
+	system := cpu.NewSystem(cpu.Config{Model: cpu.Model(cpuModel), Cores: cores}, m)
+	system.SetTrace(func(core int, tick sim.Tick, pc int64, in isa.Inst) {
+		fmt.Printf("%12d: system.cpu%d T0 : 0x%04x : %s\n", tick, core, pc, in)
+	}, traceInsts)
+	for c := 0; c < cores; c++ {
+		system.LoadProgram(c, workloads.BootExitProgram())
+	}
+	res := system.Run(0)
+	fmt.Printf("... %d instructions total\n", res.Insts)
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command gem5worker is the Celery-worker analogue: it connects to a
+// gem5art broker, executes the simulation jobs it is handed, and reports
+// structured results back. Several workers — on several machines — may
+// serve the same broker.
+//
+// Usage:
+//
+//	gem5worker -broker 127.0.0.1:7733 -capacity 4
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+
+	"gem5art/internal/core/tasks"
+	"gem5art/internal/sim/cpu"
+	"gem5art/internal/sim/gpu"
+	"gem5art/internal/sim/kernel"
+	"gem5art/internal/workloads"
+)
+
+func main() {
+	broker := flag.String("broker", "127.0.0.1:7733", "broker address")
+	capacity := flag.Int("capacity", runtime.NumCPU(), "parallel jobs")
+	flag.Parse()
+
+	w, err := tasks.NewWorker(*broker, *capacity, map[string]tasks.JobHandler{
+		"boot": bootJob,
+		"gpu":  gpuJob,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gem5worker: connected to %s with capacity %d\n", *broker, *capacity)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	w.Close()
+}
+
+// bootJob runs one Figure 8 boot cell.
+func bootJob(payload json.RawMessage) (any, error) {
+	var p struct {
+		Kernel string `json:"kernel"`
+		CPU    string `json:"cpu"`
+		Mem    string `json:"mem"`
+		Cores  int    `json:"cores"`
+		Boot   string `json:"boot"`
+	}
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("bad boot payload: %w", err)
+	}
+	res := kernel.Boot(kernel.Spec{
+		Kernel: kernel.Version(p.Kernel),
+		CPU:    cpu.Model(p.CPU),
+		Mem:    p.Mem,
+		Cores:  p.Cores,
+		Boot:   kernel.BootType(p.Boot),
+	}, 0)
+	return map[string]any{
+		"outcome":     string(res.Outcome),
+		"sim_seconds": res.SimTicks.Seconds(),
+		"insts":       res.Insts,
+	}, nil
+}
+
+// gpuJob runs one Figure 9 register-allocator cell.
+func gpuJob(payload json.RawMessage) (any, error) {
+	var p struct {
+		App   string `json:"app"`
+		Alloc string `json:"alloc"`
+	}
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("bad gpu payload: %w", err)
+	}
+	w, err := workloads.FindGPUWorkload(p.App)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gpu.Run(gpu.Config{}, w.Kernel, gpu.Allocator(p.Alloc))
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"shader_ticks": res.Cycles,
+		"ops":          res.Ops,
+	}, nil
+}

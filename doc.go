@@ -1,0 +1,12 @@
+// Package gem5art is a from-scratch Go reproduction of "Enabling
+// Reproducible and Agile Full-System Simulation" (Bruce et al., ISPASS
+// 2021): the gem5art experiment-management framework, the gem5-resources
+// catalog, and the full-system simulator substrate the paper's three use
+// cases run on.
+//
+// The library lives under internal/; see README.md for the map,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-vs-measured record. The root package exists to host the
+// benchmark harness (bench_test.go), which regenerates every table and
+// figure in the paper's evaluation.
+package gem5art

@@ -1,0 +1,62 @@
+// Parsec-study reproduces use case 1 (§VI-A): 10 PARSEC applications on
+// Ubuntu 18.04 and 20.04 disk images at 1, 2, and 8 cores — 60
+// full-system runs — then regenerates Figures 6 and 7 from the database.
+//
+// Run with: go run ./examples/parsec-study [-quick] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"gem5art/internal/core/launch"
+	"gem5art/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run 3 apps instead of 10")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
+	flag.Parse()
+
+	env, err := experiments.NewEnv("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderTable2())
+
+	apps := []string(nil)
+	if *quick {
+		apps = []string{"blackscholes", "dedup", "ferret"}
+	}
+	start := time.Now()
+	study, err := env.RunParsecStudy(*workers, apps, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsweep of %d runs completed in %v\n\n",
+		len(study.Apps)*2*len(study.Cores), time.Since(start).Round(time.Millisecond))
+
+	fmt.Print(study.RenderFig6())
+	fmt.Println()
+	fmt.Print(study.RenderFig7())
+
+	// The headline observations from §VI-A, computed from the data:
+	slower := 0
+	for _, app := range study.Apps {
+		if study.Diff(app, 1) > 0 {
+			slower++
+		}
+	}
+	fmt.Printf("\napps slower on Ubuntu 18.04 at 1 core: %d/%d\n", slower, len(study.Apps))
+	var gap1, gap8 float64
+	for _, app := range study.Apps {
+		gap1 += study.Diff(app, 1)
+		gap8 += study.Diff(app, study.Cores[len(study.Cores)-1])
+	}
+	fmt.Printf("total 18.04-20.04 gap: %.6fs at 1 core -> %.6fs at %d cores (narrows)\n",
+		gap1, gap8, study.Cores[len(study.Cores)-1])
+	fmt.Println(launch.Summarize(env.DB()))
+}

@@ -1,0 +1,127 @@
+// Quickstart walks the paper's Figures 3-5 end to end with the raw API:
+// register artifacts (with provenance and dependencies), create a
+// full-system run object, execute it through the task pool, and query
+// the results database.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/core/launch"
+	"gem5art/internal/core/run"
+	"gem5art/internal/database"
+	"gem5art/internal/gitstore"
+	"gem5art/internal/resources"
+)
+
+func main() {
+	if err := quickstart(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func quickstart() error {
+	// A persistent database would be database.Open("./gem5art-db").
+	db := database.MustOpen("")
+	reg := artifact.NewRegistry(db)
+
+	// --- Figure 3: register artifacts -------------------------------
+	gem5Repo := gitstore.NewRepo("https://gem5.googlesource.com/public/gem5")
+	gem5Repo.Commit(gitstore.Tree{"SConstruct": []byte("gem5 v20.1.0.4")}, "v20.1.0.4")
+	repoArt, err := reg.Register(artifact.Options{
+		Command: "git clone https://gem5.googlesource.com/public/gem5",
+		Typ:     "git repository", Name: "gem5-repo", Path: "gem5/",
+		Documentation: "cloned from googlesource at v20.1.0.4",
+		Repo:          gem5Repo,
+	})
+	if err != nil {
+		return err
+	}
+	gem5Binary, err := reg.Register(artifact.Options{
+		Command: "cd gem5; git checkout " + repoArt.Hash[:12] + "; scons build/X86/gem5.opt -j8",
+		Typ:     "gem5 binary", Name: "gem5", CWD: "gem5/",
+		Path:          "gem5/build/X86/gem5.opt",
+		Inputs:        []*artifact.Artifact{repoArt},
+		Documentation: "gem5 binary for the quickstart",
+		Content:       []byte("gem5.opt v20.1.0.4 X86"),
+	})
+	if err != nil {
+		return err
+	}
+	linux, err := reg.Register(artifact.Options{
+		Command: "make -j8 vmlinux", Typ: "kernel", Name: "vmlinux-5.4.49",
+		Path: "linux-stable/vmlinux", Content: []byte("vmlinux 5.4.49"),
+	})
+	if err != nil {
+		return err
+	}
+	scripts, err := reg.Register(artifact.Options{
+		Command: "git clone https://example.org/experiment-scripts",
+		Typ:     "git repository", Name: "experiment-scripts", Path: "experiments/",
+		Content: []byte("run scripts"),
+	})
+	if err != nil {
+		return err
+	}
+	// The boot-exit disk image comes prebuilt from the resource catalog.
+	disk, err := resources.Build(reg, "boot-exit", resources.BuildOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered %d artifacts; gem5 binary hash %s\n",
+		len(reg.All()), gem5Binary.Hash[:12])
+
+	// --- Figure 4: create the run object ----------------------------
+	r, err := run.CreateFSRun(reg, run.FSSpec{
+		Name:                 "quickstart-boot",
+		Gem5Binary:           gem5Binary.Path,
+		RunScript:            "configs/run_exit.py",
+		Output:               "results/quickstart",
+		Gem5Artifact:         gem5Binary,
+		Gem5GitArtifact:      repoArt,
+		RunScriptGitArtifact: scripts,
+		LinuxBinary:          linux.Path,
+		DiskImage:            disk.Path,
+		LinuxBinaryArtifact:  linux,
+		DiskImageArtifact:    disk,
+		Params: []string{"kernel=5.4.49", "cpu=TimingSimpleCPU",
+			"mem_sys=classic", "num_cpus=1", "boot_type=init"},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run command: %s\n", r.Command())
+
+	// --- Figure 5: execute asynchronously ---------------------------
+	if err := r.Execute(context.Background()); err != nil {
+		return err
+	}
+	fmt.Printf("run finished: status=%s outcome=%s sim=%.6fs insts=%d\n",
+		r.Status, r.Results.Outcome, r.Results.SimSeconds, r.Results.Insts)
+
+	// --- Figure 2 step 8: query the database ------------------------
+	doc := db.Collection("runs").FindOne(database.Doc{"name": "quickstart-boot"})
+	fmt.Printf("database record: status=%v outcome=%v\n", doc["status"], doc["outcome"])
+	stats, err := db.Files().Get(doc["stats_file"].(string))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("archived stats.txt (%d bytes)\n", len(stats))
+
+	// Full provenance of the run's disk image:
+	closure, err := reg.Closure(disk)
+	if err != nil {
+		return err
+	}
+	fmt.Println("disk image provenance:")
+	for _, a := range closure {
+		fmt.Printf("  %-28s %s (%s)\n", a.Name, a.Hash[:12], a.Typ)
+	}
+	fmt.Println(launch.Summarize(db))
+	return nil
+}

@@ -1,0 +1,3 @@
+module gem5art
+
+go 1.22

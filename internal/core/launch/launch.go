@@ -1,0 +1,169 @@
+// Package launch implements gem5art's launch-script layer (§IV-E,
+// Figure 5): a single place where an experiment's artifacts are
+// declared, the cross product of its parameters is enumerated, and the
+// resulting run objects are executed asynchronously. "Through this one
+// Python script, the entire experiment and the details required to run
+// the experiment are documented in one place."
+package launch
+
+import (
+	"context"
+	"fmt"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/core/run"
+	"gem5art/internal/core/tasks"
+	"gem5art/internal/database"
+)
+
+// Sweep enumerates a parameter cross product. Axes iterate with the
+// last-added axis fastest, matching nested loops in a launch script.
+type Sweep struct {
+	names  []string
+	values [][]string
+}
+
+// NewSweep returns an empty sweep (one point with no parameters).
+func NewSweep() *Sweep { return &Sweep{} }
+
+// Axis adds a named parameter axis. It returns the sweep for chaining.
+func (s *Sweep) Axis(name string, values ...string) *Sweep {
+	s.names = append(s.names, name)
+	s.values = append(s.values, values)
+	return s
+}
+
+// Size returns the number of points in the cross product.
+func (s *Sweep) Size() int {
+	n := 1
+	for _, vs := range s.values {
+		n *= len(vs)
+	}
+	return n
+}
+
+// Points materializes the cross product in deterministic order.
+func (s *Sweep) Points() []map[string]string {
+	out := make([]map[string]string, 0, s.Size())
+	point := make([]int, len(s.values))
+	for {
+		m := make(map[string]string, len(s.names))
+		for i, name := range s.names {
+			m[name] = s.values[i][point[i]]
+		}
+		out = append(out, m)
+		// Odometer increment, last axis fastest.
+		i := len(point) - 1
+		for ; i >= 0; i-- {
+			point[i]++
+			if point[i] < len(s.values[i]) {
+				break
+			}
+			point[i] = 0
+		}
+		if i < 0 {
+			return out
+		}
+	}
+}
+
+// Each calls fn for every point.
+func (s *Sweep) Each(fn func(p map[string]string)) {
+	for _, p := range s.Points() {
+		fn(p)
+	}
+}
+
+// Experiment drives a set of runs through a task pool, mirroring the
+// main() of Figure 5.
+type Experiment struct {
+	Name string
+	Reg  *artifact.Registry
+	Pool *tasks.Pool
+
+	futures []*tasks.Future
+	runs    []*run.Run
+}
+
+// NewExperiment creates an experiment executing on workers parallel
+// workers.
+func NewExperiment(name string, reg *artifact.Registry, workers int) *Experiment {
+	return &Experiment{Name: name, Reg: reg, Pool: tasks.NewPool(workers)}
+}
+
+// LaunchFS creates a full-system run from the spec and schedules it
+// asynchronously (Figure 5's apply_async).
+func (e *Experiment) LaunchFS(spec run.FSSpec) (*run.Run, error) {
+	r, err := run.CreateFSRun(e.Reg, spec)
+	if err != nil {
+		return nil, err
+	}
+	fut, err := e.Pool.ApplyAsync(tasks.TaskFunc{
+		Name: r.ID,
+		Fn:   r.Execute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.futures = append(e.futures, fut)
+	e.runs = append(e.runs, r)
+	return r, nil
+}
+
+// Wait blocks until every launched run completes. Individual run
+// failures are recorded in the database, not returned: a 480-cell sweep
+// must not stop because one configuration exposes a simulator bug.
+func (e *Experiment) Wait(ctx context.Context) {
+	for _, f := range e.futures {
+		_ = f.Wait(ctx)
+	}
+}
+
+// Close releases the pool.
+func (e *Experiment) Close() { e.Pool.Close() }
+
+// Runs returns the launched runs in launch order.
+func (e *Experiment) Runs() []*run.Run { return e.runs }
+
+// Summary aggregates run statuses and outcomes from the database — the
+// "query the database at any time" step of Figure 2.
+type Summary struct {
+	Total     int
+	ByStatus  map[string]int
+	ByOutcome map[string]int
+}
+
+// Summarize builds a Summary over all runs in the database.
+func Summarize(db *database.DB) Summary {
+	s := Summary{ByStatus: map[string]int{}, ByOutcome: map[string]int{}}
+	for _, d := range db.Collection(run.Collection).Find(nil) {
+		s.Total++
+		if st, ok := d["status"].(string); ok {
+			s.ByStatus[st]++
+		}
+		if oc, ok := d["outcome"].(string); ok && oc != "" {
+			s.ByOutcome[oc]++
+		}
+	}
+	return s
+}
+
+// String renders the summary for terminals.
+func (s Summary) String() string {
+	return fmt.Sprintf("%d runs; status=%v outcome=%v", s.Total, s.ByStatus, s.ByOutcome)
+}
+
+// RecordScript registers the launch script's own source as an artifact,
+// completing the paper's documentation story: "this script, in addition
+// to the database, can be used to communicate to others all necessary
+// inputs... for a particular experiment." Returns the script artifact.
+func (e *Experiment) RecordScript(path, source string) (*artifact.Artifact, error) {
+	return e.Reg.Register(artifact.Options{
+		Name:          "launch-" + e.Name,
+		Typ:           "launch script",
+		Path:          path,
+		Command:       "go run " + path,
+		Documentation: "launch script for experiment " + e.Name,
+		Content:       []byte(source),
+	})
+}

@@ -1,0 +1,88 @@
+package launch
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any axis shape, the sweep has exactly the product size
+// and every point is unique and complete.
+func TestSweepProperty(t *testing.T) {
+	f := func(shape []uint8) bool {
+		s := NewSweep()
+		want := 1
+		naxes := len(shape)
+		if naxes > 5 {
+			naxes = 5 // keep the product tractable
+		}
+		for i := 0; i < naxes; i++ {
+			n := int(shape[i]%4) + 1
+			vals := make([]string, n)
+			for j := range vals {
+				vals[j] = fmt.Sprintf("v%d", j)
+			}
+			s.Axis(fmt.Sprintf("a%d", i), vals...)
+			want *= n
+		}
+		pts := s.Points()
+		if s.Size() != want || len(pts) != want {
+			return false
+		}
+		seen := make(map[string]bool, want)
+		for _, p := range pts {
+			if len(p) != naxes {
+				return false
+			}
+			key := ""
+			for i := 0; i < naxes; i++ {
+				v, ok := p[fmt.Sprintf("a%d", i)]
+				if !ok {
+					return false
+				}
+				key += v + "|"
+			}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Points is deterministic — two enumerations agree exactly.
+func TestSweepDeterministicProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		build := func() *Sweep {
+			s := NewSweep()
+			s.Axis("x", vals(int(a%5)+1)...)
+			s.Axis("y", vals(int(b%5)+1)...)
+			return s
+		}
+		p1, p2 := build().Points(), build().Points()
+		if len(p1) != len(p2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i]["x"] != p2[i]["x"] || p1[i]["y"] != p2[i]["y"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func vals(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%d", i)
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+// Package run implements gem5art's run objects (§IV-C): a run is a
+// special artifact that references every input artifact of one gem5
+// experiment (simulator binary, repository, run script, kernel, disk
+// image), the parameters of that single data point, and — once executed
+// — a pointer to its results in the database.
+package run
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/database"
+)
+
+// Collection is the database collection run documents live in.
+const Collection = "runs"
+
+// Status of a run's lifecycle.
+type Status string
+
+// Run states.
+const (
+	Queued   Status = "queued"
+	Running  Status = "running"
+	Done     Status = "done"
+	Failed   Status = "failed"
+	TimedOut Status = "timed-out"
+)
+
+// FSSpec mirrors the parameters of the paper's createFSRun (Figure 4).
+type FSSpec struct {
+	Name       string // human-readable run name
+	Gem5Binary string
+	RunScript  string
+	Output     string
+
+	Gem5Artifact         *artifact.Artifact
+	Gem5GitArtifact      *artifact.Artifact
+	RunScriptGitArtifact *artifact.Artifact
+
+	LinuxBinary string
+	DiskImage   string
+
+	LinuxBinaryArtifact *artifact.Artifact
+	DiskImageArtifact   *artifact.Artifact
+
+	Params  []string // "key=value" arguments to the run script
+	Timeout time.Duration
+}
+
+// Results captures what a finished run produced.
+type Results struct {
+	Outcome     string  // workload-specific: "success", "kernel-panic", ...
+	SimSeconds  float64 // simulated time
+	Insts       uint64
+	Stats       map[string]float64
+	Console     string
+	ConfigINI   string // rendered system configuration (config.ini)
+	StatsHash   string // file-store hash of the archived stats.txt
+	ConsoleHash string // file-store hash of the archived console log
+	ConfigHash  string // file-store hash of the archived config.ini
+}
+
+// Run is one experiment — "one unique experiment (a single data point)".
+type Run struct {
+	ID        string
+	Mode      string // "fs" or "se"
+	Spec      FSSpec
+	Status    Status
+	Results   *Results
+	WallStart time.Time
+	WallEnd   time.Time
+
+	reg *artifact.Registry
+}
+
+// DefaultTimeout matches createFSRun's 15-minute default.
+const DefaultTimeout = 15 * time.Minute
+
+// CreateFSRun validates the spec and creates a queued full-system run,
+// recording it in the database.
+func CreateFSRun(reg *artifact.Registry, spec FSSpec) (*Run, error) {
+	if spec.Timeout == 0 {
+		spec.Timeout = DefaultTimeout
+	}
+	required := map[string]*artifact.Artifact{
+		"gem5_artifact":           spec.Gem5Artifact,
+		"gem5_git_artifact":       spec.Gem5GitArtifact,
+		"run_script_git_artifact": spec.RunScriptGitArtifact,
+		"linux_binary_artifact":   spec.LinuxBinaryArtifact,
+		"disk_image_artifact":     spec.DiskImageArtifact,
+	}
+	for field, a := range required {
+		if a == nil {
+			return nil, fmt.Errorf("run: %s: missing %s", spec.Name, field)
+		}
+	}
+	if spec.Gem5Binary == "" || spec.RunScript == "" {
+		return nil, fmt.Errorf("run: %s: gem5 binary and run script paths are required", spec.Name)
+	}
+	if _, ok := handler(spec.RunScript); !ok {
+		return nil, fmt.Errorf("run: %s: no handler for run script %q", spec.Name, spec.RunScript)
+	}
+	r := &Run{
+		ID:     artifact.NewUUID(),
+		Mode:   "fs",
+		Spec:   spec,
+		Status: Queued,
+		reg:    reg,
+	}
+	if _, err := reg.DB().Collection(Collection).InsertOne(r.doc()); err != nil {
+		return nil, fmt.Errorf("run: %s: %w", spec.Name, err)
+	}
+	return r, nil
+}
+
+// Command renders the gem5 invocation this run documents, the way
+// gem5art constructs the eventual command line.
+func (r *Run) Command() string {
+	var sb strings.Builder
+	sb.WriteString(r.Spec.Gem5Binary)
+	sb.WriteString(" -re --outdir=" + r.Spec.Output)
+	sb.WriteString(" " + r.Spec.RunScript)
+	if r.Mode == "fs" {
+		sb.WriteString(" --kernel=" + r.Spec.LinuxBinary)
+		sb.WriteString(" --disk=" + r.Spec.DiskImage)
+	}
+	for _, p := range r.Spec.Params {
+		sb.WriteString(" --" + p)
+	}
+	return sb.String()
+}
+
+// Param returns the value of a "key=value" parameter, or def.
+func (r *Run) Param(key, def string) string {
+	for _, p := range r.Spec.Params {
+		k, v, ok := strings.Cut(p, "=")
+		if ok && k == key {
+			return v
+		}
+	}
+	return def
+}
+
+// Execute runs the experiment: it dispatches to the run script's
+// handler, enforces the timeout, archives results, and updates the run's
+// database document. It never returns simulator failures as errors —
+// those are outcomes (the run is Done with e.g. a kernel-panic outcome);
+// errors mean the run itself could not be performed.
+func (r *Run) Execute(ctx context.Context) error {
+	h, ok := handler(r.Spec.RunScript)
+	if !ok {
+		return fmt.Errorf("run: no handler for %q", r.Spec.RunScript)
+	}
+	r.Status = Running
+	r.WallStart = time.Now()
+	r.update()
+
+	ctx, cancel := context.WithTimeout(ctx, r.Spec.Timeout)
+	defer cancel()
+	type outcome struct {
+		res *Results
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := h(r)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case <-ctx.Done():
+		r.Status = TimedOut
+		r.WallEnd = time.Now()
+		r.update()
+		return nil
+	case out := <-ch:
+		r.WallEnd = time.Now()
+		if out.err != nil {
+			r.Status = Failed
+			r.Results = &Results{Outcome: "error: " + out.err.Error()}
+			r.update()
+			return out.err
+		}
+		r.Results = out.res
+		r.archive()
+		r.Status = Done
+		r.update()
+		return nil
+	}
+}
+
+// archive stores the stats dump and console output as files in the
+// database, recording their hashes on the run document.
+func (r *Run) archive() {
+	if r.Results == nil {
+		return
+	}
+	fs := r.reg.DB().Files()
+	var stats strings.Builder
+	for k, v := range r.Results.Stats {
+		fmt.Fprintf(&stats, "%s %g\n", k, v)
+	}
+	if stats.Len() > 0 {
+		r.Results.StatsHash = fs.Put(r.Spec.Output+"/stats.txt", []byte(stats.String()))
+	}
+	if r.Results.Console != "" {
+		r.Results.ConsoleHash = fs.Put(r.Spec.Output+"/system.pc.com_1.device", []byte(r.Results.Console))
+	}
+	if r.Results.ConfigINI != "" {
+		r.Results.ConfigHash = fs.Put(r.Spec.Output+"/config.ini", []byte(r.Results.ConfigINI))
+	}
+}
+
+func (r *Run) doc() database.Doc {
+	d := database.Doc{
+		"_id":         r.ID,
+		"name":        r.Spec.Name,
+		"mode":        r.Mode,
+		"status":      string(r.Status),
+		"gem5_binary": r.Spec.Gem5Binary,
+		"run_script":  r.Spec.RunScript,
+		"output":      r.Spec.Output,
+		"params":      paramsAny(r.Spec.Params),
+		"command":     r.Command(),
+		"timeout_sec": r.Spec.Timeout.Seconds(),
+		"artifacts": map[string]any{
+			"gem5":       idOf(r.Spec.Gem5Artifact),
+			"gem5_git":   idOf(r.Spec.Gem5GitArtifact),
+			"run_script": idOf(r.Spec.RunScriptGitArtifact),
+			"linux":      idOf(r.Spec.LinuxBinaryArtifact),
+			"disk":       idOf(r.Spec.DiskImageArtifact),
+		},
+	}
+	if r.Results != nil {
+		d["outcome"] = r.Results.Outcome
+		d["sim_seconds"] = r.Results.SimSeconds
+		d["insts"] = float64(r.Results.Insts)
+		d["stats_file"] = r.Results.StatsHash
+		d["console_file"] = r.Results.ConsoleHash
+		d["config_file"] = r.Results.ConfigHash
+	}
+	if !r.WallStart.IsZero() && !r.WallEnd.IsZero() {
+		d["wall_seconds"] = r.WallEnd.Sub(r.WallStart).Seconds()
+	}
+	return d
+}
+
+func (r *Run) update() {
+	col := r.reg.DB().Collection(Collection)
+	set := r.doc()
+	delete(set, "_id")
+	if !col.UpdateOne(database.Doc{"_id": r.ID}, set) {
+		// The document should always exist; recreate defensively.
+		_, _ = col.InsertOne(r.doc())
+	}
+}
+
+func idOf(a *artifact.Artifact) string {
+	if a == nil {
+		return ""
+	}
+	return a.ID
+}
+
+func paramsAny(ps []string) []any {
+	out := make([]any, len(ps))
+	for i, p := range ps {
+		out[i] = p
+	}
+	return out
+}
+
+// Find queries run documents.
+func Find(db *database.DB, filter database.Doc) []database.Doc {
+	return db.Collection(Collection).Find(filter)
+}

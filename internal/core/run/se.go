@@ -1,0 +1,90 @@
+package run
+
+import (
+	"fmt"
+	"time"
+
+	"gem5art/internal/core/artifact"
+)
+
+// SESpec describes a syscall-emulation-mode run: no kernel or disk
+// image, just a benchmark binary executed directly on the simulated CPU
+// (gem5's SE mode). gem5art provides createSERun alongside createFSRun;
+// this is its analogue.
+type SESpec struct {
+	Name       string
+	Gem5Binary string
+	RunScript  string
+	Output     string
+
+	Gem5Artifact         *artifact.Artifact
+	Gem5GitArtifact      *artifact.Artifact
+	RunScriptGitArtifact *artifact.Artifact
+
+	// Binary is the workload executable artifact (an encoded isa
+	// program stored in the database file store).
+	BinaryArtifact *artifact.Artifact
+
+	Params  []string
+	Timeout time.Duration
+}
+
+// CreateSERun validates the spec and creates a queued SE-mode run.
+func CreateSERun(reg *artifact.Registry, spec SESpec) (*Run, error) {
+	if spec.Timeout == 0 {
+		spec.Timeout = DefaultTimeout
+	}
+	required := map[string]*artifact.Artifact{
+		"gem5_artifact":           spec.Gem5Artifact,
+		"gem5_git_artifact":       spec.Gem5GitArtifact,
+		"run_script_git_artifact": spec.RunScriptGitArtifact,
+		"binary_artifact":         spec.BinaryArtifact,
+	}
+	for field, a := range required {
+		if a == nil {
+			return nil, fmt.Errorf("run: %s: missing %s", spec.Name, field)
+		}
+	}
+	if spec.RunScript == "" {
+		spec.RunScript = "configs/run_se.py"
+	}
+	r := &Run{
+		ID:   artifact.NewUUID(),
+		Mode: "se",
+		Spec: FSSpec{
+			Name:                 spec.Name,
+			Gem5Binary:           spec.Gem5Binary,
+			RunScript:            spec.RunScript,
+			Output:               spec.Output,
+			Gem5Artifact:         spec.Gem5Artifact,
+			Gem5GitArtifact:      spec.Gem5GitArtifact,
+			RunScriptGitArtifact: spec.RunScriptGitArtifact,
+			// SE mode reuses the disk-image slot for the binary: both are
+			// "the workload artifact" to the run document.
+			DiskImage:           spec.BinaryArtifact.Path,
+			DiskImageArtifact:   spec.BinaryArtifact,
+			LinuxBinary:         "(none, SE mode)",
+			LinuxBinaryArtifact: spec.BinaryArtifact,
+			Params:              spec.Params,
+			Timeout:             spec.Timeout,
+		},
+		Status: Queued,
+		reg:    reg,
+	}
+	if _, ok := handler(spec.RunScript); !ok {
+		return nil, fmt.Errorf("run: %s: no handler for run script %q", spec.Name, spec.RunScript)
+	}
+	if _, err := reg.DB().Collection(Collection).InsertOne(r.doc()); err != nil {
+		return nil, fmt.Errorf("run: %s: %w", spec.Name, err)
+	}
+	return r, nil
+}
+
+// runSE executes the binary artifact directly — SE mode.
+func runSE(r *Run) (*Results, error) {
+	bin, err := r.reg.Content(r.Spec.DiskImageArtifact)
+	if err != nil {
+		return nil, err
+	}
+	return execBinary(r, bin)
+}

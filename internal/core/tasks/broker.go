@@ -1,0 +1,312 @@
+package tasks
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The broker protocol is newline-delimited JSON over TCP:
+//
+//	worker -> broker: {"type":"hello","capacity":N}
+//	broker -> worker: {"type":"task","id":"...","kind":"...","payload":{...}}
+//	worker -> broker: {"type":"result","id":"...","error":"..."}
+//
+// A worker that disconnects has its in-flight tasks requeued, so a lost
+// machine does not lose experiments.
+
+// Envelope is one protocol message.
+type Envelope struct {
+	Type     string          `json:"type"`
+	ID       string          `json:"id,omitempty"`
+	Kind     string          `json:"kind,omitempty"`
+	Payload  json.RawMessage `json:"payload,omitempty"`
+	Output   json.RawMessage `json:"output,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Capacity int             `json:"capacity,omitempty"`
+}
+
+// Job is a distributable task description.
+type Job struct {
+	ID      string
+	Kind    string
+	Payload json.RawMessage
+}
+
+// JobResult reports one finished job.
+type JobResult struct {
+	ID     string
+	Err    string
+	Output json.RawMessage
+}
+
+// Broker is the Celery-analogue job queue: it accepts worker
+// connections and distributes submitted jobs among them.
+type Broker struct {
+	ln      net.Listener
+	mu      sync.Mutex
+	pending []Job
+	inFly   map[string]Job // id -> job, per assignment
+	results map[string]JobResult
+	resCh   chan JobResult
+	workers map[*brokerWorker]bool
+	closed  bool
+}
+
+type brokerWorker struct {
+	conn     net.Conn
+	enc      *json.Encoder
+	capacity int
+	active   map[string]Job
+	mu       sync.Mutex
+}
+
+// NewBroker starts a broker listening on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewBroker(addr string) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tasks: broker listen: %w", err)
+	}
+	b := &Broker{
+		ln:      ln,
+		inFly:   make(map[string]Job),
+		results: make(map[string]JobResult),
+		resCh:   make(chan JobResult, 1024),
+		workers: make(map[*brokerWorker]bool),
+	}
+	go b.accept()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+// Submit queues a job for any worker.
+func (b *Broker) Submit(j Job) {
+	b.mu.Lock()
+	b.pending = append(b.pending, j)
+	b.mu.Unlock()
+	b.dispatch()
+}
+
+// Results returns the channel on which finished jobs are delivered.
+func (b *Broker) Results() <-chan JobResult { return b.resCh }
+
+// Close shuts the broker down.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	b.closed = true
+	ws := make([]*brokerWorker, 0, len(b.workers))
+	for w := range b.workers {
+		ws = append(ws, w)
+	}
+	b.mu.Unlock()
+	_ = b.ln.Close()
+	for _, w := range ws {
+		_ = w.conn.Close()
+	}
+}
+
+func (b *Broker) accept() {
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		go b.serve(conn)
+	}
+}
+
+func (b *Broker) serve(conn net.Conn) {
+	w := &brokerWorker{
+		conn:   conn,
+		enc:    json.NewEncoder(conn),
+		active: make(map[string]Job),
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	if !sc.Scan() {
+		_ = conn.Close()
+		return
+	}
+	var hello Envelope
+	if err := json.Unmarshal(sc.Bytes(), &hello); err != nil || hello.Type != "hello" {
+		_ = conn.Close()
+		return
+	}
+	w.capacity = hello.Capacity
+	if w.capacity < 1 {
+		w.capacity = 1
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	b.workers[w] = true
+	b.mu.Unlock()
+	b.dispatch()
+
+	for sc.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			continue
+		}
+		if env.Type == "result" {
+			w.mu.Lock()
+			delete(w.active, env.ID)
+			w.mu.Unlock()
+			b.mu.Lock()
+			delete(b.inFly, env.ID)
+			res := JobResult{ID: env.ID, Err: env.Error, Output: env.Output}
+			b.results[env.ID] = res
+			b.mu.Unlock()
+			b.resCh <- res
+			b.dispatch()
+		}
+	}
+	// Worker lost: requeue its in-flight jobs.
+	w.mu.Lock()
+	orphans := make([]Job, 0, len(w.active))
+	for _, j := range w.active {
+		orphans = append(orphans, j)
+	}
+	w.active = make(map[string]Job)
+	w.mu.Unlock()
+	b.mu.Lock()
+	delete(b.workers, w)
+	b.pending = append(b.pending, orphans...)
+	b.mu.Unlock()
+	if len(orphans) > 0 {
+		b.dispatch()
+	}
+}
+
+// dispatch hands pending jobs to workers with free capacity.
+func (b *Broker) dispatch() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.pending) > 0 {
+		var target *brokerWorker
+		for w := range b.workers {
+			w.mu.Lock()
+			free := len(w.active) < w.capacity
+			w.mu.Unlock()
+			if free {
+				target = w
+				break
+			}
+		}
+		if target == nil {
+			return
+		}
+		j := b.pending[0]
+		b.pending = b.pending[1:]
+		target.mu.Lock()
+		target.active[j.ID] = j
+		target.mu.Unlock()
+		b.inFly[j.ID] = j
+		if err := target.enc.Encode(Envelope{Type: "task", ID: j.ID, Kind: j.Kind, Payload: j.Payload}); err != nil {
+			// The serve loop will notice the dead connection and requeue.
+			target.mu.Lock()
+			delete(target.active, j.ID)
+			target.mu.Unlock()
+			delete(b.inFly, j.ID)
+			b.pending = append(b.pending, j)
+			return
+		}
+	}
+}
+
+// PendingCount reports queued (not yet assigned) jobs, for tests.
+func (b *Broker) PendingCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// Worker connects to a broker, executes jobs with registered handlers,
+// and reports results.
+type Worker struct {
+	conn     net.Conn
+	enc      *json.Encoder
+	encMu    sync.Mutex
+	handlers map[string]JobHandler
+	capacity int
+	wg       sync.WaitGroup
+}
+
+// JobHandler executes one kind of job, optionally returning a
+// JSON-serializable output delivered back through the broker.
+type JobHandler func(payload json.RawMessage) (output any, err error)
+
+// NewWorker connects to the broker at addr with the given parallel
+// capacity and handler table.
+func NewWorker(addr string, capacity int, handlers map[string]JobHandler) (*Worker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tasks: worker dial: %w", err)
+	}
+	w := &Worker{
+		conn:     conn,
+		enc:      json.NewEncoder(conn),
+		handlers: handlers,
+		capacity: capacity,
+	}
+	if err := w.enc.Encode(Envelope{Type: "hello", Capacity: capacity}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	go w.loop()
+	return w, nil
+}
+
+func (w *Worker) loop() {
+	sc := bufio.NewScanner(w.conn)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil || env.Type != "task" {
+			continue
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			res := Envelope{Type: "result", ID: env.ID}
+			h, ok := w.handlers[env.Kind]
+			if !ok {
+				res.Error = fmt.Sprintf("no handler for kind %q", env.Kind)
+			} else if out, err := safeHandle(h, env.Payload); err != nil {
+				res.Error = err.Error()
+			} else if out != nil {
+				if raw, merr := json.Marshal(out); merr == nil {
+					res.Output = raw
+				} else {
+					res.Error = "marshal output: " + merr.Error()
+				}
+			}
+			w.encMu.Lock()
+			_ = w.enc.Encode(res)
+			w.encMu.Unlock()
+		}()
+	}
+}
+
+func safeHandle(h JobHandler, payload json.RawMessage) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("handler panicked: %v", r)
+		}
+	}()
+	return h(payload)
+}
+
+// Close disconnects the worker after in-flight jobs finish.
+func (w *Worker) Close() {
+	w.wg.Wait()
+	_ = w.conn.Close()
+}

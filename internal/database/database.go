@@ -1,0 +1,274 @@
+// Package database implements an embedded document database modeled on the
+// subset of MongoDB that gem5art depends on: named collections of JSON-like
+// documents, filter-based queries, unique indexes (used to deduplicate
+// artifacts by hash), and a GridFS-style chunked file store for large
+// binary artifacts such as disk images and kernels.
+//
+// The database is safe for concurrent use and can run fully in memory or
+// persist every collection as a JSON-lines file under a directory.
+package database
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Doc is a single document: a JSON-like map from field names to values.
+// Nested documents are Doc or map[string]any; arrays are []any.
+type Doc = map[string]any
+
+// DB is an embedded document database instance.
+type DB struct {
+	mu          sync.RWMutex
+	dir         string // "" means in-memory only
+	collections map[string]*Collection
+	files       *FileStore
+}
+
+// Open opens (or creates) a database. If dir is empty the database lives
+// purely in memory; otherwise collections and files are loaded from and
+// persisted to that directory.
+func Open(dir string) (*DB, error) {
+	db := &DB{
+		dir:         dir,
+		collections: make(map[string]*Collection),
+	}
+	db.files = newFileStore(db)
+	if dir != "" {
+		if err := db.load(); err != nil {
+			return nil, fmt.Errorf("database: open %s: %w", dir, err)
+		}
+	}
+	return db, nil
+}
+
+// MustOpen is Open for tests and examples where failure is fatal.
+func MustOpen(dir string) *DB {
+	db, err := Open(dir)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Collection returns the named collection, creating it if necessary.
+func (db *DB) Collection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.collections[name]
+	if !ok {
+		c = &Collection{name: name, db: db}
+		db.collections[name] = c
+	}
+	return c
+}
+
+// CollectionNames returns the names of all collections in sorted order.
+func (db *DB) CollectionNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Files returns the database's file store.
+func (db *DB) Files() *FileStore { return db.files }
+
+// Close flushes the database to disk (when persistent) and releases it.
+func (db *DB) Close() error {
+	if db.dir == "" {
+		return nil
+	}
+	return db.Flush()
+}
+
+// Collection is an ordered set of documents with optional unique indexes.
+type Collection struct {
+	mu      sync.RWMutex
+	name    string
+	db      *DB
+	docs    []Doc
+	uniques [][]string // each entry is a set of keys forming a unique index
+	nextID  int64
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// ErrDuplicate is returned when an insert violates a unique index.
+type ErrDuplicate struct {
+	Collection string
+	Keys       []string
+}
+
+func (e *ErrDuplicate) Error() string {
+	return fmt.Sprintf("database: duplicate document in %s on index (%s)",
+		e.Collection, strings.Join(e.Keys, ","))
+}
+
+// CreateUniqueIndex declares that the combination of the given keys must be
+// unique across the collection. Inserting a document whose values for the
+// keys match an existing document fails with *ErrDuplicate.
+func (c *Collection) CreateUniqueIndex(keys ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ks := append([]string(nil), keys...)
+	c.uniques = append(c.uniques, ks)
+}
+
+// InsertOne inserts a document, assigning an "_id" if absent, and returns
+// the id. The document is shallow-copied so later caller mutations do not
+// corrupt the store.
+func (c *Collection) InsertOne(d Doc) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := copyDoc(d)
+	if _, ok := cp["_id"]; !ok {
+		c.nextID++
+		cp["_id"] = fmt.Sprintf("%s-%d", c.name, c.nextID)
+	}
+	for _, keys := range c.uniques {
+		for _, existing := range c.docs {
+			if docsMatchOnKeys(existing, cp, keys) {
+				return "", &ErrDuplicate{Collection: c.name, Keys: keys}
+			}
+		}
+	}
+	c.docs = append(c.docs, cp)
+	return fmt.Sprint(cp["_id"]), nil
+}
+
+// InsertMany inserts documents in order, stopping at the first error.
+func (c *Collection) InsertMany(ds []Doc) error {
+	for _, d := range ds {
+		if _, err := c.InsertOne(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Find returns copies of all documents matching filter, in insertion order.
+// A nil or empty filter matches every document.
+func (c *Collection) Find(filter Doc) []Doc {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Doc
+	for _, d := range c.docs {
+		if Matches(d, filter) {
+			out = append(out, copyDoc(d))
+		}
+	}
+	return out
+}
+
+// FindOne returns the first matching document, or nil if none matches.
+func (c *Collection) FindOne(filter Doc) Doc {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, d := range c.docs {
+		if Matches(d, filter) {
+			return copyDoc(d)
+		}
+	}
+	return nil
+}
+
+// Count returns the number of matching documents.
+func (c *Collection) Count(filter Doc) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, d := range c.docs {
+		if Matches(d, filter) {
+			n++
+		}
+	}
+	return n
+}
+
+// UpdateOne merges set into the first document matching filter and reports
+// whether a document was updated.
+func (c *Collection) UpdateOne(filter, set Doc) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.docs {
+		if Matches(d, filter) {
+			for k, v := range set {
+				if k == "_id" {
+					continue
+				}
+				d[k] = v
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteMany removes all matching documents and returns how many were
+// removed.
+func (c *Collection) DeleteMany(filter Doc) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.docs[:0]
+	removed := 0
+	for _, d := range c.docs {
+		if Matches(d, filter) {
+			removed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	c.docs = kept
+	return removed
+}
+
+// Distinct returns the distinct values of key across matching documents,
+// in first-seen order.
+func (c *Collection) Distinct(key string, filter Doc) []any {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []any
+	seen := make(map[string]bool)
+	for _, d := range c.docs {
+		if !Matches(d, filter) {
+			continue
+		}
+		v, ok := lookup(d, key)
+		if !ok {
+			continue
+		}
+		k := fmt.Sprintf("%T:%v", v, v)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func docsMatchOnKeys(a, b Doc, keys []string) bool {
+	for _, k := range keys {
+		av, aok := lookup(a, k)
+		bv, bok := lookup(b, k)
+		if aok != bok || !valuesEqual(av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+func copyDoc(d Doc) Doc {
+	cp := make(Doc, len(d))
+	for k, v := range d {
+		cp[k] = v
+	}
+	return cp
+}

@@ -1,0 +1,133 @@
+package database
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// chunkSize mirrors GridFS's default chunk size (255 KiB). Files larger
+// than this are split across multiple chunks.
+const chunkSize = 255 * 1024
+
+// FileStore stores binary blobs (disk images, kernels, results archives)
+// chunked and deduplicated by MD5 hash, mirroring how gem5art stores
+// artifact files in MongoDB's GridFS.
+type FileStore struct {
+	mu    sync.RWMutex
+	db    *DB
+	metas map[string]*FileMeta // keyed by hash
+	data  map[string][][]byte  // hash -> chunks
+}
+
+// FileMeta describes a stored file.
+type FileMeta struct {
+	Name   string
+	Hash   string // MD5 of the content, hex-encoded
+	Length int
+	Chunks int
+}
+
+func newFileStore(db *DB) *FileStore {
+	return &FileStore{
+		db:    db,
+		metas: make(map[string]*FileMeta),
+		data:  make(map[string][][]byte),
+	}
+}
+
+// HashBytes returns the hex MD5 of data — the identity used for artifact
+// deduplication throughout gem5art.
+func HashBytes(data []byte) string {
+	sum := md5.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Put stores the file under its content hash. Storing identical content
+// twice is a no-op (the paper: a file is uploaded "unless it already
+// exists there"). It returns the content hash.
+func (fs *FileStore) Put(name string, data []byte) string {
+	hash := HashBytes(data)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.metas[hash]; ok {
+		return hash
+	}
+	var chunks [][]byte
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := make([]byte, end-off)
+		copy(chunk, data[off:end])
+		chunks = append(chunks, chunk)
+	}
+	fs.metas[hash] = &FileMeta{Name: name, Hash: hash, Length: len(data), Chunks: len(chunks)}
+	fs.data[hash] = chunks
+	return hash
+}
+
+// Get reassembles and returns the file with the given content hash.
+func (fs *FileStore) Get(hash string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	meta, ok := fs.metas[hash]
+	if !ok {
+		return nil, fmt.Errorf("database: file %s not found", hash)
+	}
+	out := make([]byte, 0, meta.Length)
+	for _, chunk := range fs.data[hash] {
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// Exists reports whether content with the given hash is stored.
+func (fs *FileStore) Exists(hash string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.metas[hash]
+	return ok
+}
+
+// Stat returns the metadata for a stored file.
+func (fs *FileStore) Stat(hash string) (FileMeta, bool) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	m, ok := fs.metas[hash]
+	if !ok {
+		return FileMeta{}, false
+	}
+	return *m, true
+}
+
+// List returns metadata for every stored file, sorted by name then hash.
+func (fs *FileStore) List() []FileMeta {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]FileMeta, 0, len(fs.metas))
+	for _, m := range fs.metas {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Hash < out[j].Hash
+	})
+	return out
+}
+
+// TotalBytes returns the total stored (deduplicated) content size.
+func (fs *FileStore) TotalBytes() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n := 0
+	for _, m := range fs.metas {
+		n += m.Length
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+package database
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// On-disk layout under the database directory:
+//
+//	<dir>/collections/<name>.jsonl  — one JSON document per line
+//	<dir>/files/<hash>.blob         — base64 of the file content
+//	<dir>/files/<hash>.meta         — JSON FileMeta
+//
+// The format is intentionally line-oriented and human-inspectable, in the
+// spirit of gem5art's "freely available tools may be used to process this
+// data".
+
+// Flush writes all collections and files to the database directory.
+func (db *DB) Flush() error {
+	if db.dir == "" {
+		return nil
+	}
+	colDir := filepath.Join(db.dir, "collections")
+	if err := os.MkdirAll(colDir, 0o755); err != nil {
+		return err
+	}
+	db.mu.RLock()
+	cols := make([]*Collection, 0, len(db.collections))
+	for _, c := range db.collections {
+		cols = append(cols, c)
+	}
+	db.mu.RUnlock()
+	for _, c := range cols {
+		if err := c.flush(colDir); err != nil {
+			return err
+		}
+	}
+	return db.files.flush(filepath.Join(db.dir, "files"))
+}
+
+func (c *Collection) flush(dir string) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var sb strings.Builder
+	for _, d := range c.docs {
+		line, err := json.Marshal(d)
+		if err != nil {
+			return fmt.Errorf("database: marshal doc in %s: %w", c.name, err)
+		}
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(dir, c.name+".jsonl"), []byte(sb.String()), 0o644)
+}
+
+func (fs *FileStore) flush(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	for hash, meta := range fs.metas {
+		metaPath := filepath.Join(dir, hash+".meta")
+		if _, err := os.Stat(metaPath); err == nil {
+			continue // blobs are content-addressed and immutable
+		}
+		var data []byte
+		for _, chunk := range fs.data[hash] {
+			data = append(data, chunk...)
+		}
+		enc := base64.StdEncoding.EncodeToString(data)
+		if err := os.WriteFile(filepath.Join(dir, hash+".blob"), []byte(enc), 0o644); err != nil {
+			return err
+		}
+		mj, err := json.Marshal(meta)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metaPath, mj, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) load() error {
+	colDir := filepath.Join(db.dir, "collections")
+	entries, err := os.ReadDir(colDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // fresh database
+		}
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".jsonl")
+		if err := db.loadCollection(name, filepath.Join(colDir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return db.files.load(filepath.Join(db.dir, "files"))
+}
+
+func (db *DB) loadCollection(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c := db.Collection(name)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var d Doc
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return fmt.Errorf("database: load %s: %w", name, err)
+		}
+		c.mu.Lock()
+		c.docs = append(c.docs, d)
+		c.nextID++
+		c.mu.Unlock()
+	}
+	return sc.Err()
+}
+
+func (fs *FileStore) load(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".meta") {
+			continue
+		}
+		mj, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		var meta FileMeta
+		if err := json.Unmarshal(mj, &meta); err != nil {
+			return err
+		}
+		bj, err := os.ReadFile(filepath.Join(dir, meta.Hash+".blob"))
+		if err != nil {
+			return err
+		}
+		data, err := base64.StdEncoding.DecodeString(string(bj))
+		if err != nil {
+			return err
+		}
+		fs.Put(meta.Name, data)
+	}
+	return nil
+}

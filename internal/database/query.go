@@ -1,0 +1,113 @@
+package database
+
+import "sort"
+
+// FindOptions refines a query: sort order, offset, limit, and field
+// projection — the cursor modifiers gem5art's Jupyter analyses lean on.
+type FindOptions struct {
+	// SortBy orders results by this (possibly dotted) key.
+	SortBy string
+	// Descending reverses the sort order.
+	Descending bool
+	// Skip drops the first N matches.
+	Skip int
+	// Limit caps the number of returned documents (0 = no cap).
+	Limit int
+	// Fields, when non-empty, projects each document to these keys
+	// (plus "_id").
+	Fields []string
+}
+
+// FindWith returns matching documents refined by opts.
+func (c *Collection) FindWith(filter Doc, opts FindOptions) []Doc {
+	docs := c.Find(filter)
+	if opts.SortBy != "" {
+		sort.SliceStable(docs, func(i, j int) bool {
+			av, aok := lookup(docs[i], opts.SortBy)
+			bv, bok := lookup(docs[j], opts.SortBy)
+			if aok != bok {
+				// Present values sort before missing ones.
+				less := aok
+				if opts.Descending {
+					return !less
+				}
+				return less
+			}
+			cmp, ok := compareValues(av, bv)
+			if !ok {
+				return false
+			}
+			if opts.Descending {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+	if opts.Skip > 0 {
+		if opts.Skip >= len(docs) {
+			return nil
+		}
+		docs = docs[opts.Skip:]
+	}
+	if opts.Limit > 0 && opts.Limit < len(docs) {
+		docs = docs[:opts.Limit]
+	}
+	if len(opts.Fields) > 0 {
+		projected := make([]Doc, len(docs))
+		for i, d := range docs {
+			p := Doc{}
+			if id, ok := d["_id"]; ok {
+				p["_id"] = id
+			}
+			for _, f := range opts.Fields {
+				if v, ok := lookup(d, f); ok {
+					p[f] = v
+				}
+			}
+			projected[i] = p
+		}
+		docs = projected
+	}
+	return docs
+}
+
+// Aggregate computes a numeric summary of key across matching documents.
+type Aggregate struct {
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns Sum/Count (0 for empty).
+func (a Aggregate) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// AggregateKey summarizes the numeric values of key over matching
+// documents; non-numeric and missing values are skipped.
+func (c *Collection) AggregateKey(filter Doc, key string) Aggregate {
+	var agg Aggregate
+	for _, d := range c.Find(filter) {
+		v, ok := lookup(d, key)
+		if !ok {
+			continue
+		}
+		f, ok := toFloat(v)
+		if !ok {
+			continue
+		}
+		if agg.Count == 0 || f < agg.Min {
+			agg.Min = f
+		}
+		if agg.Count == 0 || f > agg.Max {
+			agg.Max = f
+		}
+		agg.Count++
+		agg.Sum += f
+	}
+	return agg
+}

@@ -1,0 +1,56 @@
+package diskimage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"gem5art/internal/database"
+	"gem5art/internal/workloads"
+)
+
+// Property: any set of file provisioners serializes and parses back to
+// the identical image, and the hash is stable across rebuilds.
+func TestImageRoundTripProperty(t *testing.T) {
+	f := func(names []string, blobs [][]byte) bool {
+		tpl := Template{Name: "prop", OS: workloads.Ubuntu1804}
+		for i, n := range names {
+			if n == "" {
+				continue
+			}
+			var content []byte
+			if i < len(blobs) {
+				content = blobs[i]
+			}
+			tpl.Steps = append(tpl.Steps, Provisioner{
+				Type: "file", Dest: "/data/" + fmt.Sprintf("%x", n), Content: content,
+			})
+		}
+		img1, err := Build(tpl)
+		if err != nil {
+			return false
+		}
+		img2, err := Build(tpl)
+		if err != nil {
+			return false
+		}
+		b1, b2 := img1.Serialize(), img2.Serialize()
+		if database.HashBytes(b1) != database.HashBytes(b2) {
+			return false
+		}
+		parsed, err := Parse(b1)
+		if err != nil || len(parsed.Files) != len(img1.Files) {
+			return false
+		}
+		for p, data := range img1.Files {
+			if !bytes.Equal(parsed.Files[p], data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

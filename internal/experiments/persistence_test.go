@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/database"
+)
+
+// TestReproducibilityAcrossSessions is the paper's core promise: run an
+// experiment, close everything, reopen the database later, and recover
+// the complete record — run outcomes, the artifacts that produced them,
+// and the archived result files.
+func TestReproducibilityAcrossSessions(t *testing.T) {
+	dir := t.TempDir()
+
+	// Session 1: provision and run a small GPU study, then flush.
+	env, err := NewEnv(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.RunGPUStudy(2, []string{"FAMutex"}); err != nil {
+		t.Fatal(err)
+	}
+	nArtifacts := len(env.Reg.All())
+	if err := env.DB().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: reopen the raw database (no re-provisioning) and audit.
+	db := database.MustOpen(dir)
+	reg := artifact.NewRegistry(db)
+	if got := len(reg.All()); got != nArtifacts {
+		t.Fatalf("reloaded %d artifacts, want %d", got, nArtifacts)
+	}
+	runs := db.Collection("runs").Find(database.Doc{"status": "done"})
+	if len(runs) != 2 {
+		t.Fatalf("reloaded %d done runs, want 2", len(runs))
+	}
+	for _, d := range runs {
+		// Every referenced artifact resolves...
+		for field, id := range d["artifacts"].(map[string]any) {
+			a, err := reg.Get(id.(string))
+			if err != nil {
+				t.Fatalf("run references missing %s artifact: %v", field, err)
+			}
+			if a.Hash == "" {
+				t.Fatalf("artifact %s has no hash", a.Name)
+			}
+		}
+		// ...and the archived stats file is recoverable.
+		statsHash, _ := d["stats_file"].(string)
+		raw, err := db.Files().Get(statsHash)
+		if err != nil {
+			t.Fatalf("stats file missing: %v", err)
+		}
+		if !strings.Contains(string(raw), "shader_ticks") {
+			t.Fatalf("stats content: %q", raw)
+		}
+	}
+
+	// Session 3: re-provisioning the same environment is idempotent —
+	// no duplicate artifacts appear.
+	env2, err := NewEnv(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(env2.Reg.All()); got != nArtifacts {
+		t.Fatalf("re-provisioning grew the registry: %d -> %d", nArtifacts, got)
+	}
+	// And re-running the same cell appends new run documents (runs are
+	// data points, not deduplicated).
+	if _, err := env2.RunGPUStudy(2, []string{"FAMutex"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := env2.DB().Collection("runs").Count(database.Doc{"status": "done"}); got != 4 {
+		t.Fatalf("%d done runs after re-run, want 4", got)
+	}
+}
+
+// TestRunProvenanceClosure verifies that from a single run document one
+// can recover the full input closure — the "reproducibility report" the
+// paper describes.
+func TestRunProvenanceClosure(t *testing.T) {
+	env, err := NewEnv("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.RunParsecStudy(2, []string{"dedup"}, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	d := env.DB().Collection("runs").FindOne(database.Doc{"status": "done"})
+	if d == nil {
+		t.Fatal("no run recorded")
+	}
+	arts := d["artifacts"].(map[string]any)
+	gem5Art, err := env.Reg.Get(arts["gem5"].(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closure, err := env.Reg.Closure(gem5Art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gem5 binary -> gem5 repo.
+	if len(closure) != 2 || closure[1].Typ != "git repository" {
+		t.Fatalf("closure: %d artifacts", len(closure))
+	}
+	if closure[1].Git.URL == "" || closure[1].Git.Hash == "" {
+		t.Fatal("repository artifact lost its git identity")
+	}
+	cmd, _ := d["command"].(string)
+	if !strings.Contains(cmd, "gem5.opt") || !strings.Contains(cmd, "--benchmark=dedup") {
+		t.Fatalf("command: %q", cmd)
+	}
+}

@@ -1,0 +1,230 @@
+// Package gitstore implements a minimal content-addressed version store
+// standing in for the git repositories gem5art artifacts reference. It
+// provides the three properties gem5art relies on:
+//
+//   - every repository has a URL that identifies where it came from,
+//   - every state of the tree has a stable revision hash, and
+//   - any revision can be checked out again byte-for-byte, so an
+//     experiment recorded as (url, hash) is reproducible.
+//
+// Revisions form a linear history per repository (branches are out of
+// scope for gem5art's usage, which always records a single revision).
+package gitstore
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tree is a snapshot of a repository's files: path -> content.
+type Tree map[string][]byte
+
+// Commit is one recorded state of a repository.
+type Commit struct {
+	Hash    string // revision hash (hex SHA-1 over the tree and metadata)
+	Message string
+	Parent  string // hash of the previous commit, "" for the root
+	tree    Tree
+}
+
+// Repo is a versioned tree of files identified by a URL.
+type Repo struct {
+	mu      sync.RWMutex
+	url     string
+	commits []*Commit          // in commit order
+	byHash  map[string]*Commit // hash -> commit
+}
+
+// NewRepo creates an empty repository with the given origin URL.
+func NewRepo(url string) *Repo {
+	return &Repo{url: url, byHash: make(map[string]*Commit)}
+}
+
+// URL returns the repository's origin URL.
+func (r *Repo) URL() string { return r.url }
+
+// Commit records a snapshot of the given tree and returns its revision
+// hash. The tree is deep-copied; later mutations do not affect history.
+func (r *Repo) Commit(tree Tree, message string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parent := ""
+	if len(r.commits) > 0 {
+		parent = r.commits[len(r.commits)-1].Hash
+	}
+	c := &Commit{
+		Message: message,
+		Parent:  parent,
+		tree:    copyTree(tree),
+	}
+	c.Hash = hashCommit(r.url, parent, message, c.tree)
+	r.commits = append(r.commits, c)
+	r.byHash[c.Hash] = c
+	return c.Hash
+}
+
+// Head returns the hash of the latest commit, or "" if the repository is
+// empty.
+func (r *Repo) Head() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.commits) == 0 {
+		return ""
+	}
+	return r.commits[len(r.commits)-1].Hash
+}
+
+// Checkout returns a deep copy of the tree at the given revision. The
+// revision may be abbreviated to a unique prefix, mirroring git's
+// short-hash checkout used in the paper's Figure 3.
+func (r *Repo) Checkout(rev string) (Tree, error) {
+	c, err := r.resolve(rev)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return copyTree(c.tree), nil
+}
+
+// RevParse resolves a possibly abbreviated revision to its full hash.
+func (r *Repo) RevParse(rev string) (string, error) {
+	c, err := r.resolve(rev)
+	if err != nil {
+		return "", err
+	}
+	return c.Hash, nil
+}
+
+// Log returns all commits, oldest first.
+func (r *Repo) Log() []Commit {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Commit, len(r.commits))
+	for i, c := range r.commits {
+		out[i] = Commit{Hash: c.Hash, Message: c.Message, Parent: c.Parent}
+	}
+	return out
+}
+
+// ReadFile returns the content of one file at a revision.
+func (r *Repo) ReadFile(rev, path string) ([]byte, error) {
+	c, err := r.resolve(rev)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	data, ok := c.tree[path]
+	if !ok {
+		return nil, fmt.Errorf("gitstore: %s: no file %q at %s", r.url, path, rev)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+func (r *Repo) resolve(rev string) (*Commit, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if rev == "" || rev == "HEAD" {
+		if len(r.commits) == 0 {
+			return nil, fmt.Errorf("gitstore: %s: empty repository", r.url)
+		}
+		return r.commits[len(r.commits)-1], nil
+	}
+	if c, ok := r.byHash[rev]; ok {
+		return c, nil
+	}
+	var found *Commit
+	for h, c := range r.byHash {
+		if strings.HasPrefix(h, rev) {
+			if found != nil {
+				return nil, fmt.Errorf("gitstore: %s: ambiguous revision %q", r.url, rev)
+			}
+			found = c
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("gitstore: %s: unknown revision %q", r.url, rev)
+	}
+	return found, nil
+}
+
+func copyTree(t Tree) Tree {
+	cp := make(Tree, len(t))
+	for p, data := range t {
+		b := make([]byte, len(data))
+		copy(b, data)
+		cp[p] = b
+	}
+	return cp
+}
+
+func hashCommit(url, parent, message string, tree Tree) string {
+	h := sha1.New()
+	fmt.Fprintf(h, "url %s\nparent %s\nmessage %s\n", url, parent, message)
+	paths := make([]string, 0, len(tree))
+	for p := range tree {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(h, "file %s %d\n", p, len(tree[p]))
+		h.Write(tree[p])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Store is a collection of repositories keyed by URL — the analogue of the
+// set of remotes (gem5.googlesource.com, kernel.org, ...) an experiment
+// clones from.
+type Store struct {
+	mu    sync.RWMutex
+	repos map[string]*Repo
+}
+
+// NewStore creates an empty repository store.
+func NewStore() *Store {
+	return &Store{repos: make(map[string]*Repo)}
+}
+
+// Create creates a new repository with the given URL. Creating a URL that
+// already exists returns the existing repository.
+func (s *Store) Create(url string) *Repo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.repos[url]; ok {
+		return r
+	}
+	r := NewRepo(url)
+	s.repos[url] = r
+	return r
+}
+
+// Clone returns the repository at url, mirroring `git clone`.
+func (s *Store) Clone(url string) (*Repo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.repos[url]
+	if !ok {
+		return nil, fmt.Errorf("gitstore: no repository at %q", url)
+	}
+	return r, nil
+}
+
+// URLs returns all repository URLs in sorted order.
+func (s *Store) URLs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.repos))
+	for u := range s.repos {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,197 @@
+package gitstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommitAndCheckout(t *testing.T) {
+	r := NewRepo("https://gem5.googlesource.com/public/gem5")
+	h1 := r.Commit(Tree{"SConstruct": []byte("v1")}, "initial")
+	h2 := r.Commit(Tree{"SConstruct": []byte("v2"), "README": []byte("gem5")}, "update")
+	if h1 == h2 {
+		t.Fatal("different trees produced the same revision hash")
+	}
+	tree1, err := r.Checkout(h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tree1["SConstruct"]) != "v1" {
+		t.Fatalf("checkout of %s returned %q", h1, tree1["SConstruct"])
+	}
+	if _, ok := tree1["README"]; ok {
+		t.Fatal("old revision contains a file added later")
+	}
+	if r.Head() != h2 {
+		t.Fatalf("Head = %s, want %s", r.Head(), h2)
+	}
+}
+
+func TestCheckoutIsIsolated(t *testing.T) {
+	r := NewRepo("u")
+	h := r.Commit(Tree{"f": []byte("original")}, "c")
+	tree, err := r.Checkout(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree["f"][0] = 'X'
+	again, err := r.Checkout(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again["f"], []byte("original")) {
+		t.Fatal("mutating a checkout corrupted history")
+	}
+}
+
+func TestCommitDeepCopiesInput(t *testing.T) {
+	r := NewRepo("u")
+	src := Tree{"f": []byte("abc")}
+	h := r.Commit(src, "c")
+	src["f"][0] = 'Z'
+	got, err := r.ReadFile(h, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("history saw caller mutation: %q", got)
+	}
+}
+
+func TestAbbreviatedRevision(t *testing.T) {
+	r := NewRepo("u")
+	h := r.Commit(Tree{"f": []byte("x")}, "c")
+	short := h[:10]
+	full, err := r.RevParse(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != h {
+		t.Fatalf("RevParse(%s) = %s, want %s", short, full, h)
+	}
+	if _, err := r.RevParse("ZZZZ"); err == nil {
+		t.Fatal("unknown revision resolved")
+	}
+}
+
+func TestHeadRevisionKeywords(t *testing.T) {
+	r := NewRepo("u")
+	if _, err := r.Checkout("HEAD"); err == nil {
+		t.Fatal("HEAD of empty repo resolved")
+	}
+	h := r.Commit(Tree{"f": []byte("x")}, "c")
+	for _, rev := range []string{"HEAD", ""} {
+		got, err := r.RevParse(rev)
+		if err != nil {
+			t.Fatalf("RevParse(%q): %v", rev, err)
+		}
+		if got != h {
+			t.Fatalf("RevParse(%q) = %s, want %s", rev, got, h)
+		}
+	}
+}
+
+func TestLogLinksParents(t *testing.T) {
+	r := NewRepo("u")
+	h1 := r.Commit(Tree{"f": []byte("1")}, "first")
+	h2 := r.Commit(Tree{"f": []byte("2")}, "second")
+	log := r.Log()
+	if len(log) != 2 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	if log[0].Hash != h1 || log[0].Parent != "" {
+		t.Fatalf("root commit: %+v", log[0])
+	}
+	if log[1].Hash != h2 || log[1].Parent != h1 {
+		t.Fatalf("second commit: %+v", log[1])
+	}
+}
+
+func TestIdenticalTreesInDifferentReposDiffer(t *testing.T) {
+	a := NewRepo("https://a")
+	b := NewRepo("https://b")
+	tree := Tree{"f": []byte("same")}
+	if a.Commit(tree, "m") == b.Commit(tree, "m") {
+		t.Fatal("revision hash does not incorporate repository URL")
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	r := NewRepo("u")
+	h := r.Commit(Tree{"exists": []byte("y")}, "c")
+	if _, err := r.ReadFile(h, "missing"); err == nil {
+		t.Fatal("ReadFile of missing path succeeded")
+	}
+}
+
+func TestStoreCloneAndCreate(t *testing.T) {
+	s := NewStore()
+	r1 := s.Create("https://gem5")
+	r2 := s.Create("https://gem5")
+	if r1 != r2 {
+		t.Fatal("Create of existing URL returned a new repo")
+	}
+	if _, err := s.Clone("https://nope"); err == nil {
+		t.Fatal("Clone of unknown URL succeeded")
+	}
+	got, err := s.Clone("https://gem5")
+	if err != nil || got != r1 {
+		t.Fatalf("Clone = %v, %v", got, err)
+	}
+	s.Create("https://linux")
+	urls := s.URLs()
+	if len(urls) != 2 || urls[0] != "https://gem5" || urls[1] != "https://linux" {
+		t.Fatalf("URLs = %v", urls)
+	}
+}
+
+// Property: committing any tree and checking it out returns the same
+// content, and the revision hash is deterministic for the same history.
+func TestCheckoutRoundTripProperty(t *testing.T) {
+	f := func(paths []string, blobs [][]byte) bool {
+		tree := Tree{}
+		for i, p := range paths {
+			if p == "" {
+				continue
+			}
+			var b []byte
+			if i < len(blobs) {
+				b = blobs[i]
+			}
+			tree[p] = b
+		}
+		r1 := NewRepo("prop")
+		r2 := NewRepo("prop")
+		h1 := r1.Commit(tree, "m")
+		h2 := r2.Commit(tree, "m")
+		if h1 != h2 {
+			return false
+		}
+		got, err := r1.Checkout(h1)
+		if err != nil || len(got) != len(tree) {
+			return false
+		}
+		for p, want := range tree {
+			if !bytes.Equal(got[p], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevisionHashFormat(t *testing.T) {
+	r := NewRepo("u")
+	h := r.Commit(Tree{"f": []byte("x")}, "c")
+	if len(h) != 40 {
+		t.Fatalf("revision hash length %d, want 40 (sha1 hex)", len(h))
+	}
+	if strings.ToLower(h) != h {
+		t.Fatal("revision hash is not lowercase hex")
+	}
+}

@@ -1,0 +1,212 @@
+package resources
+
+import (
+	"fmt"
+	"sort"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/diskimage"
+	"gem5art/internal/sim/isa"
+	"gem5art/internal/workloads"
+)
+
+// BuildOptions parameterizes Build.
+type BuildOptions struct {
+	// OS selects the userland for disk-image resources; defaults to
+	// Ubuntu 18.04, matching Table I's descriptions.
+	OS *workloads.OSImage
+	// SpecISO is the licensed SPEC install media; required for the
+	// spec-2006/spec-2017 resources, never stored in the database.
+	SpecISO []byte
+}
+
+// Build materializes a catalog resource as a registered artifact: disk
+// images for the benchmark suites, kernel binaries for linux-kernel,
+// test binaries for the test resources, and environment recipes for the
+// docker resource. The artifact's Command field records the equivalent
+// build recipe.
+func Build(reg *artifact.Registry, name string, opts BuildOptions) (*artifact.Artifact, error) {
+	res, err := Find(name)
+	if err != nil {
+		return nil, err
+	}
+	os := workloads.Ubuntu1804
+	if opts.OS != nil {
+		os = *opts.OS
+	}
+
+	image := func(suite string) (*artifact.Artifact, error) {
+		img, err := diskimage.Build(diskimage.Template{
+			Name:    res.Name + "-" + os.Name,
+			OS:      os,
+			Preseed: map[string]string{"user": "gem5", "hostname": "gem5-host"},
+			Steps:   []diskimage.Provisioner{{Type: "benchmarks", Suite: suite}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return reg.Register(artifact.Options{
+			Name:          res.Name + "-image-" + os.Name,
+			Typ:           "disk image",
+			Path:          "disks/" + res.Name + ".img",
+			Command:       "packer build " + res.Name + ".json",
+			Documentation: res.Description,
+			Content:       img.Serialize(),
+		})
+	}
+
+	switch res.Name {
+	case "boot-exit":
+		return image("boot-exit")
+	case "parsec":
+		return image("parsec")
+	case "npb":
+		return image("npb")
+	case "gapbs":
+		return image("gapbs")
+	case "hack-back":
+		img, err := diskimage.Build(diskimage.Template{
+			Name: "hack-back-" + os.Name, OS: os,
+			Steps: []diskimage.Provisioner{
+				{Type: "benchmarks", Suite: "boot-exit"},
+				{Type: "file", Dest: "/root/hack-back.sh",
+					Content: []byte("#!/bin/sh\nm5 checkpoint\nm5 readfile > script.sh && sh script.sh")},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return reg.Register(artifact.Options{
+			Name: "hack-back-image-" + os.Name, Typ: "disk image",
+			Path: "disks/hack-back.img", Command: "packer build hack-back.json",
+			Documentation: res.Description, Content: img.Serialize(),
+		})
+	case "riscv-fs":
+		return reg.Register(artifact.Options{
+			Name: "riscv-bbl", Typ: "bootloader",
+			Path:          "riscv-fs/bbl",
+			Command:       "make -C riscv-pk bbl PAYLOAD=vmlinux",
+			Documentation: res.Description,
+			Content:       []byte("bbl+vmlinux riscv payload"),
+		})
+	case "linux-kernel":
+		return reg.Register(artifact.Options{
+			Name: "vmlinux-5.4.49", Typ: "kernel",
+			Path:          "linux-stable/vmlinux",
+			Command:       "make -j8 vmlinux LOCALVERSION=",
+			Documentation: res.Description,
+			Content:       []byte("vmlinux 5.4.49 x86_64"),
+		})
+	case "spec-2006", "spec-2017":
+		if len(opts.SpecISO) == 0 {
+			return nil, fmt.Errorf("resources: %s requires licensed install media (BuildOptions.SpecISO)", res.Name)
+		}
+		img, err := diskimage.Build(diskimage.Template{
+			Name: res.Name + "-" + os.Name, OS: os,
+			Steps: []diskimage.Provisioner{
+				{Type: "benchmarks", Suite: "spec"},
+				{Type: "file", Dest: "/spec/install.iso", Content: opts.SpecISO},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return reg.Register(artifact.Options{
+			Name: res.Name + "-image-" + os.Name, Typ: "disk image",
+			Path:          "disks/" + res.Name + ".img",
+			Command:       "packer build " + res.Name + ".json (user-supplied ISO)",
+			Documentation: res.Description + " Built locally from user-licensed media; not redistributed.",
+			Content:       img.Serialize(),
+		})
+	case "GCN-docker":
+		return reg.Register(artifact.Options{
+			Name: "gcn-gpu-docker", Typ: "environment",
+			Path:          "util/dockerfiles/gcn-gpu/Dockerfile",
+			Command:       "docker build -t gcn-gpu util/dockerfiles/gcn-gpu",
+			Documentation: res.Description,
+			Content:       []byte("FROM ubuntu:16.04\nRUN install-rocm-1.6.sh && install-gcc-5.4.sh\n"),
+		})
+	case "HeteroSync", "DNNMark", "halo-finder", "Pennant", "LULESH", "hip-samples":
+		return buildGPUResource(reg, res)
+	case "gem5-tests":
+		return buildTests(reg, res)
+	}
+	return nil, fmt.Errorf("resources: no builder for %q", res.Name)
+}
+
+// buildGPUResource registers the GPU suite's kernel descriptors as a
+// workload bundle artifact.
+func buildGPUResource(reg *artifact.Registry, res Resource) (*artifact.Artifact, error) {
+	suiteOf := map[string]string{
+		"HeteroSync": "heterosync", "DNNMark": "dnnmark",
+		"halo-finder": "doe-proxy", "Pennant": "doe-proxy", "LULESH": "doe-proxy",
+		"hip-samples": "hip-samples",
+	}
+	suite := suiteOf[res.Name]
+	var names []byte
+	for _, w := range workloads.GPUWorkloads() {
+		if w.Suite == suite {
+			names = append(names, []byte(w.Kernel.Name+"\n")...)
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("resources: no GPU workloads for %s", res.Name)
+	}
+	return reg.Register(artifact.Options{
+		Name: res.Name + "-workloads", Typ: "gpu benchmark suite",
+		Path:          "src/" + res.Name,
+		Command:       "docker run gcn-gpu make (ROCm 1.6, GCC 5.4)",
+		Documentation: res.Description,
+		Content:       names,
+	})
+}
+
+// buildTests assembles the gem5-tests binaries (asmtest-style smoke
+// tests) and registers them as one artifact bundle.
+func buildTests(reg *artifact.Registry, res Resource) (*artifact.Artifact, error) {
+	progs := map[string]string{
+		"asmtest-add": `
+			addi x1, x0, 2
+			addi x2, x0, 3
+			add x3, x1, x2
+			addi x4, x0, 5
+			bne x3, x4, fail
+			sys exit
+		fail:
+			addi x1, x0, 1
+			sys exit
+		`,
+		"insttest-amoadd": `
+			addi x1, x0, 65536
+			addi x2, x0, 7
+			amoadd x3, x2, (x1)
+			sys exit
+		`,
+		"simple-m5ops": `
+			sys work_begin
+			nop
+			sys work_end
+			sys exit
+		`,
+	}
+	names := make([]string, 0, len(progs))
+	for name := range progs {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic bundle -> stable artifact hash
+	var bundle []byte
+	for _, name := range names {
+		p, err := isa.Assemble(name, progs[name])
+		if err != nil {
+			return nil, fmt.Errorf("resources: assemble %s: %w", name, err)
+		}
+		bundle = append(bundle, isa.Encode(p)...)
+	}
+	return reg.Register(artifact.Options{
+		Name: "gem5-tests", Typ: "test binaries",
+		Path:          "tests/",
+		Command:       "make -C tests",
+		Documentation: res.Description,
+		Content:       bundle,
+	})
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config describes a simulated system as a tree of named objects with
+// typed parameters — the analogue of the Python system-configuration
+// script in gem5's workflow (Figure 1 of the paper). A Config renders to
+// a config.ini-style dump that runs archive alongside statistics.
+type Config struct {
+	Name     string
+	Type     string
+	Params   map[string]string
+	Children []*Config
+}
+
+// NewConfig creates a configuration node.
+func NewConfig(name, typ string) *Config {
+	return &Config{Name: name, Type: typ, Params: make(map[string]string)}
+}
+
+// Set records one parameter, formatting the value with %v.
+func (c *Config) Set(key string, value any) *Config {
+	c.Params[key] = fmt.Sprint(value)
+	return c
+}
+
+// Child adds and returns a child node.
+func (c *Config) Child(name, typ string) *Config {
+	ch := NewConfig(name, typ)
+	c.Children = append(c.Children, ch)
+	return ch
+}
+
+// Find returns the descendant with the given dotted path relative to this
+// node ("" returns the node itself), or nil.
+func (c *Config) Find(path string) *Config {
+	if path == "" {
+		return c
+	}
+	head, rest, _ := strings.Cut(path, ".")
+	for _, ch := range c.Children {
+		if ch.Name == head {
+			return ch.Find(rest)
+		}
+	}
+	return nil
+}
+
+// Render emits the configuration in config.ini format, sections in
+// depth-first order and keys sorted.
+func (c *Config) Render() string {
+	var sb strings.Builder
+	c.render(&sb, c.Name)
+	return sb.String()
+}
+
+func (c *Config) render(sb *strings.Builder, path string) {
+	fmt.Fprintf(sb, "[%s]\n", path)
+	fmt.Fprintf(sb, "type=%s\n", c.Type)
+	keys := make([]string, 0, len(c.Params))
+	for k := range c.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s=%s\n", k, c.Params[k])
+	}
+	sb.WriteByte('\n')
+	for _, ch := range c.Children {
+		ch.render(sb, path+"."+ch.Name)
+	}
+}
+
+// CountNodes returns the number of nodes in the tree, for sanity checks.
+func (c *Config) CountNodes() int {
+	n := 1
+	for _, ch := range c.Children {
+		n += ch.CountNodes()
+	}
+	return n
+}

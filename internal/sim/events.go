@@ -1,0 +1,148 @@
+// Package sim provides the discrete-event simulation kernel underneath
+// every model in this repository: an event queue ordered by tick, a
+// gem5-style statistics framework, and a configuration tree describing the
+// simulated system.
+//
+// Following gem5's convention, one Tick is one picosecond, so a 1 GHz
+// clock has a period of 1000 ticks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is simulated time in picoseconds.
+type Tick uint64
+
+// TicksPerSecond converts between ticks and seconds (1 THz tick rate).
+const TicksPerSecond Tick = 1_000_000_000_000
+
+// Seconds returns the tick count as floating-point seconds.
+func (t Tick) Seconds() float64 { return float64(t) / float64(TicksPerSecond) }
+
+// Clock converts cycles to ticks for a fixed frequency domain.
+type Clock struct {
+	Period Tick // ticks per cycle
+}
+
+// NewClock returns a Clock for the given frequency in Hz.
+func NewClock(hz uint64) Clock {
+	if hz == 0 {
+		panic("sim: zero-frequency clock")
+	}
+	return Clock{Period: Tick(uint64(TicksPerSecond) / hz)}
+}
+
+// Cycles converts a cycle count to ticks.
+func (c Clock) Cycles(n uint64) Tick { return Tick(n) * c.Period }
+
+// event is one scheduled callback.
+type event struct {
+	when Tick
+	prio int    // lower runs first at equal tick
+	seq  uint64 // FIFO among equal (when, prio) for determinism
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// EventQueue is a deterministic discrete-event scheduler. It is not safe
+// for concurrent use: a simulation is a single logical thread of time.
+type EventQueue struct {
+	now     Tick
+	seq     uint64
+	events  eventHeap
+	stopped bool
+}
+
+// NewEventQueue returns an empty queue at tick zero.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Now returns the current simulated time.
+func (q *EventQueue) Now() Tick { return q.now }
+
+// Schedule runs fn at the given absolute tick. Scheduling in the past
+// panics: it indicates a model bug.
+func (q *EventQueue) Schedule(when Tick, fn func()) {
+	q.ScheduleP(when, 0, fn)
+}
+
+// ScheduleP schedules with an explicit priority; lower priorities run
+// first among events at the same tick.
+func (q *EventQueue) ScheduleP(when Tick, prio int, fn func()) {
+	if when < q.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", when, q.now))
+	}
+	q.seq++
+	heap.Push(&q.events, &event{when: when, prio: prio, seq: q.seq, fn: fn})
+}
+
+// After schedules fn delay ticks from now.
+func (q *EventQueue) After(delay Tick, fn func()) {
+	q.Schedule(q.now+delay, fn)
+}
+
+// Empty reports whether no events are pending.
+func (q *EventQueue) Empty() bool { return len(q.events) == 0 }
+
+// Pending returns the number of scheduled events.
+func (q *EventQueue) Pending() int { return len(q.events) }
+
+// Step executes the single next event and reports whether one ran.
+func (q *EventQueue) Step() bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.events).(*event)
+	q.now = ev.when
+	ev.fn()
+	return true
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// event completes. It is how models signal simulation exit (e.g., the
+// workload wrote to the m5 exit device).
+func (q *EventQueue) Stop() { q.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called, and
+// returns the final tick.
+func (q *EventQueue) Run() Tick {
+	q.stopped = false
+	for !q.stopped && q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil executes events with tick <= limit, stopping early on Stop or
+// an empty queue. Time does not advance beyond the last executed event.
+func (q *EventQueue) RunUntil(limit Tick) Tick {
+	q.stopped = false
+	for !q.stopped {
+		if len(q.events) == 0 || q.events[0].when > limit {
+			break
+		}
+		q.Step()
+	}
+	return q.now
+}

@@ -1,0 +1,269 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a Program. Syntax, one
+// instruction per line:
+//
+//	label:
+//	add  x1, x2, x3
+//	addi x1, x2, 42
+//	lui  x1, 16
+//	ld   x1, 8(x2)
+//	st   x2, 8(x1)
+//	amoadd x1, x2, (x3)
+//	beq  x1, x2, label
+//	jal  x1, label
+//	sys  exit | work_begin | work_end | print | <imm>
+//	nop / fence
+//
+// '#' starts a comment. Branch targets may be labels or numeric offsets.
+func Assemble(name, src string) (*Program, error) {
+	type pending struct {
+		instIdx int
+		label   string
+		line    int
+	}
+	labels := make(map[string]int64)
+	var insts []Inst
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for strings.Contains(line, ":") {
+			label, rest, _ := strings.Cut(line, ":")
+			label = strings.TrimSpace(label)
+			if label == "" {
+				return nil, fmt.Errorf("isa: line %d: empty label", lineNo+1)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = int64(len(insts))
+			line = strings.TrimSpace(rest)
+		}
+		if line == "" {
+			continue
+		}
+		mnemonic, args, _ := strings.Cut(line, " ")
+		mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+		ops := splitOperands(args)
+		in, labelRef, err := parseInst(mnemonic, ops)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{instIdx: len(insts), label: labelRef, line: lineNo + 1})
+		}
+		insts = append(insts, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		insts[f.instIdx].Imm = int32(target - int64(f.instIdx))
+	}
+	return &Program{Name: name, Insts: insts, DataWords: 4096}, nil
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "x") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int32, error) {
+	n, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(n), nil
+}
+
+// parseMemOperand parses "imm(xN)".
+func parseMemOperand(s string) (int32, uint8, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected imm(xN), got %q", s)
+	}
+	imm := int32(0)
+	if open > 0 {
+		v, err := parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = v
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, reg, nil
+}
+
+var sysNames = map[string]int32{
+	"exit": SysExit, "work_begin": SysWorkBegin, "work_end": SysWorkEnd, "print": SysPrint,
+}
+
+var threeRegOps = map[string]Op{
+	"add": ADD, "sub": SUB, "mul": MUL, "div": DIV,
+	"and": AND, "or": OR, "xor": XOR, "slt": SLT,
+}
+
+var branchOps = map[string]Op{"beq": BEQ, "bne": BNE, "blt": BLT}
+
+func parseInst(mnemonic string, ops []string) (in Inst, labelRef string, err error) {
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mnemonic, n, len(ops))
+		}
+		return nil
+	}
+	if op, ok := threeRegOps[mnemonic]; ok {
+		if err = need(3); err != nil {
+			return
+		}
+		in.Op = op
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return
+		}
+		if in.Rs1, err = parseReg(ops[1]); err != nil {
+			return
+		}
+		in.Rs2, err = parseReg(ops[2])
+		return
+	}
+	if op, ok := branchOps[mnemonic]; ok {
+		if err = need(3); err != nil {
+			return
+		}
+		in.Op = op
+		if in.Rs1, err = parseReg(ops[0]); err != nil {
+			return
+		}
+		if in.Rs2, err = parseReg(ops[1]); err != nil {
+			return
+		}
+		if imm, e := parseImm(ops[2]); e == nil {
+			in.Imm = imm
+		} else {
+			labelRef = ops[2]
+		}
+		return
+	}
+	switch mnemonic {
+	case "nop":
+		err = need(0)
+		in.Op = NOP
+	case "fence":
+		err = need(0)
+		in.Op = FENCE
+	case "addi":
+		if err = need(3); err != nil {
+			return
+		}
+		in.Op = ADDI
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return
+		}
+		if in.Rs1, err = parseReg(ops[1]); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[2])
+	case "lui":
+		if err = need(2); err != nil {
+			return
+		}
+		in.Op = LUI
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return
+		}
+		in.Imm, err = parseImm(ops[1])
+	case "ld":
+		if err = need(2); err != nil {
+			return
+		}
+		in.Op = LD
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return
+		}
+		in.Imm, in.Rs1, err = parseMemOperand(ops[1])
+	case "st":
+		if err = need(2); err != nil {
+			return
+		}
+		in.Op = ST
+		if in.Rs2, err = parseReg(ops[0]); err != nil {
+			return
+		}
+		in.Imm, in.Rs1, err = parseMemOperand(ops[1])
+	case "amoadd":
+		if err = need(3); err != nil {
+			return
+		}
+		in.Op = AMOADD
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return
+		}
+		if in.Rs2, err = parseReg(ops[1]); err != nil {
+			return
+		}
+		_, in.Rs1, err = parseMemOperand(ops[2])
+	case "jal":
+		if err = need(2); err != nil {
+			return
+		}
+		in.Op = JAL
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return
+		}
+		if imm, e := parseImm(ops[1]); e == nil {
+			in.Imm = imm
+		} else {
+			labelRef = ops[1]
+		}
+	case "sys":
+		if err = need(1); err != nil {
+			return
+		}
+		in.Op = SYS
+		if fn, ok := sysNames[ops[0]]; ok {
+			in.Imm = fn
+		} else {
+			in.Imm, err = parseImm(ops[0])
+		}
+	default:
+		err = fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	return
+}

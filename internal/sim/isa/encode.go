@@ -1,0 +1,105 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary format of a program ("executable"):
+//
+//	magic   "G5X1"          4 bytes
+//	nameLen uint16          + name bytes
+//	data    int64           data segment size in words
+//	count   uint32          instruction count
+//	insts   count × 8 bytes (op, rd, rs1, rs2, imm:int32)
+//
+// The format exists so benchmark executables can be stored on simulated
+// disk images, hashed by the artifact system, and loaded back — the same
+// round trip a real gem5 workflow performs with ELF binaries.
+
+var magic = [4]byte{'G', '5', 'X', '1'}
+
+// EncodeInst packs one instruction into 8 bytes.
+func EncodeInst(in Inst) [8]byte {
+	var b [8]byte
+	b[0] = byte(in.Op)
+	b[1] = in.Rd
+	b[2] = in.Rs1
+	b[3] = in.Rs2
+	binary.LittleEndian.PutUint32(b[4:], uint32(in.Imm))
+	return b
+}
+
+// DecodeInst unpacks one instruction, validating the opcode and register
+// numbers.
+func DecodeInst(b [8]byte) (Inst, error) {
+	in := Inst{
+		Op:  Op(b[0]),
+		Rd:  b[1],
+		Rs1: b[2],
+		Rs2: b[3],
+		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d", b[0])
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return Inst{}, fmt.Errorf("isa: register out of range in %v", b)
+	}
+	return in, nil
+}
+
+// Encode serializes the program to its binary form.
+func Encode(p *Program) []byte {
+	out := make([]byte, 0, 4+2+len(p.Name)+8+4+8*len(p.Insts))
+	out = append(out, magic[:]...)
+	var nl [2]byte
+	binary.LittleEndian.PutUint16(nl[:], uint16(len(p.Name)))
+	out = append(out, nl[:]...)
+	out = append(out, p.Name...)
+	var dw [8]byte
+	binary.LittleEndian.PutUint64(dw[:], uint64(p.DataWords))
+	out = append(out, dw[:]...)
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(p.Insts)))
+	out = append(out, cnt[:]...)
+	for _, in := range p.Insts {
+		b := EncodeInst(in)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// Decode parses a binary produced by Encode.
+func Decode(data []byte) (*Program, error) {
+	if len(data) < 4 || [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("isa: bad magic")
+	}
+	data = data[4:]
+	if len(data) < 2 {
+		return nil, fmt.Errorf("isa: truncated header")
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	if len(data) < nameLen+12 {
+		return nil, fmt.Errorf("isa: truncated name")
+	}
+	name := string(data[:nameLen])
+	data = data[nameLen:]
+	dataWords := int64(binary.LittleEndian.Uint64(data))
+	data = data[8:]
+	count := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) < count*8 {
+		return nil, fmt.Errorf("isa: truncated text: want %d insts, have %d bytes", count, len(data))
+	}
+	p := &Program{Name: name, DataWords: dataWords, Insts: make([]Inst, count)}
+	for i := 0; i < count; i++ {
+		in, err := DecodeInst([8]byte(data[i*8 : i*8+8]))
+		if err != nil {
+			return nil, fmt.Errorf("isa: inst %d: %w", i, err)
+		}
+		p.Insts[i] = in
+	}
+	return p, nil
+}

@@ -1,0 +1,319 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gem5art/internal/sim"
+)
+
+func TestBackingStoreRoundTrip(t *testing.T) {
+	b := NewBackingStore()
+	b.WriteWord(0x10000, 42)
+	b.WriteWord(0x10008, -7)
+	if b.ReadWord(0x10000) != 42 || b.ReadWord(0x10008) != -7 {
+		t.Fatal("read-after-write failed")
+	}
+	if b.ReadWord(0x999999) != 0 {
+		t.Fatal("untouched memory not zero")
+	}
+}
+
+func TestBackingStoreProperty(t *testing.T) {
+	f := func(addrs []uint32, vals []int64) bool {
+		b := NewBackingStore()
+		ref := make(map[int64]int64)
+		for i, a := range addrs {
+			addr := int64(a) &^ 7
+			var v int64
+			if i < len(vals) {
+				v = vals[i]
+			}
+			b.WriteWord(addr, v)
+			ref[addr] = v
+		}
+		for a, v := range ref {
+			if b.ReadWord(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := newCache(1024, 2) // 8 sets x 2 ways
+	if c.lookup(0x1000) != nil {
+		t.Fatal("hit in empty cache")
+	}
+	c.insert(0x1000, Shared)
+	if c.lookup(0x1000) == nil {
+		t.Fatal("miss after insert")
+	}
+	if c.lookup(0x1008) == nil {
+		t.Fatal("same line, different word missed")
+	}
+	if c.hits != 2 || c.misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.hits, c.misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(128, 2) // 1 set x 2 ways, 64B lines
+	c.insert(0*64, Shared)
+	c.insert(128*64, Shared)
+	c.lookup(0 * 64) // make line 0 most recent
+	victimTag, vs := c.insert(256*64, Shared)
+	if vs == Invalid {
+		t.Fatal("full set should evict")
+	}
+	if victimTag != 128*64 {
+		t.Fatalf("evicted %#x, want LRU line %#x", victimTag, 128*64)
+	}
+	if c.peek(0*64) == nil || c.peek(256*64) == nil {
+		t.Fatal("wrong lines resident after eviction")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newCache(1024, 2)
+	c.insert(0x40, Modified)
+	if st := c.invalidate(0x40); st != Modified {
+		t.Fatalf("invalidate returned %v", st)
+	}
+	if c.peek(0x40) != nil {
+		t.Fatal("line still present after invalidate")
+	}
+	if st := c.invalidate(0x40); st != Invalid {
+		t.Fatal("double invalidate should be Invalid")
+	}
+}
+
+func TestDRAMRowBuffer(t *testing.T) {
+	d := NewDDR3()
+	done1 := d.Access(0, 0)
+	lat1 := done1 // row closed: tRCD + tCAS + burst
+	done2 := d.Access(done1, 64)
+	lat2 := done2 - done1 // same row: tCAS + burst
+	if lat2 >= lat1 {
+		t.Fatalf("row hit (%d) not faster than row miss (%d)", lat2, lat1)
+	}
+	// A different row in the same bank must pay precharge.
+	done3 := d.Access(done2, rowBytes*8*5)
+	lat3 := done3 - done2
+	if lat3 <= lat1 {
+		t.Fatalf("row conflict (%d) not slower than cold access (%d)", lat3, lat1)
+	}
+	if d.RowHitRate() <= 0 || d.RowHitRate() >= 1 {
+		t.Fatalf("row hit rate = %v", d.RowHitRate())
+	}
+}
+
+func TestDRAMChannelContention(t *testing.T) {
+	d := NewDDR3()
+	// Two simultaneous requests to different banks still share the channel.
+	a := d.Access(0, 0)
+	b := d.Access(0, rowBytes) // different bank
+	if b <= a {
+		t.Fatalf("second request (%d) did not queue behind first (%d)", b, a)
+	}
+}
+
+func TestClassicHitMissLatency(t *testing.T) {
+	c := NewClassic(1, ClassicConfig{})
+	coldLat := c.Access(0, Request{Addr: 0x10000, Type: Read})
+	hitLat := c.Access(coldLat, Request{Addr: 0x10000, Type: Read})
+	if hitLat >= coldLat {
+		t.Fatalf("L1 hit (%d) not faster than cold miss (%d)", hitLat, coldLat)
+	}
+	if hitLat != 2000 {
+		t.Fatalf("L1 hit latency = %d, want 2000", hitLat)
+	}
+}
+
+func TestClassicL2CatchesL1Evictions(t *testing.T) {
+	c := NewClassic(1, ClassicConfig{L1Bytes: 1024, L1Ways: 2})
+	var now sim.Tick
+	// Touch far more lines than L1 holds but well within L2.
+	for i := int64(0); i < 64; i++ {
+		now += c.Access(now, Request{Addr: 0x10000 + i*64, Type: Read})
+	}
+	before := c.l2Hits.Value()
+	// Re-walk: L1 (16 lines) misses most of these, L2 (256KB) holds all.
+	for i := int64(0); i < 64; i++ {
+		now += c.Access(now, Request{Addr: 0x10000 + i*64, Type: Read})
+	}
+	if c.l2Hits.Value() <= before {
+		t.Fatal("L2 never hit on an L1-evicted line")
+	}
+}
+
+func TestClassicNoCoherenceTraffic(t *testing.T) {
+	// The classic system has no invalidations: a write on core 0 leaves
+	// core 1's stale copy resident (the fidelity gap the paper names).
+	c := NewClassic(2, ClassicConfig{})
+	c.Access(0, Request{Addr: 0x10000, Type: Read, Core: 0})
+	c.Access(0, Request{Addr: 0x10000, Type: Read, Core: 1})
+	c.Access(0, Request{Addr: 0x10000, Type: Write, Core: 0})
+	if c.l1s[1].peek(0x10000) == nil {
+		t.Fatal("classic system invalidated a remote copy; it must not model coherence")
+	}
+}
+
+func TestRubyMESIReadSharing(t *testing.T) {
+	r := NewRuby(2, MESITwoLevel, ClassicConfig{})
+	r.Access(0, Request{Addr: 0x10000, Type: Read, Core: 0})
+	r.Access(0, Request{Addr: 0x10000, Type: Read, Core: 1})
+	// Both cores re-read: hits, no invalidations.
+	l0 := r.Access(0, Request{Addr: 0x10000, Type: Read, Core: 0})
+	l1 := r.Access(0, Request{Addr: 0x10000, Type: Read, Core: 1})
+	if l0 != r.l1HitLat || l1 != r.l1HitLat {
+		t.Fatalf("shared readers should hit locally: %d, %d", l0, l1)
+	}
+	if r.Invalidations() != 0 {
+		t.Fatalf("MESI read sharing caused %v invalidations", r.Invalidations())
+	}
+}
+
+func TestRubyMIExamplePingPong(t *testing.T) {
+	mi := NewRuby(2, MIExample, ClassicConfig{})
+	mesi := NewRuby(2, MESITwoLevel, ClassicConfig{})
+	for i := 0; i < 10; i++ {
+		for core := 0; core < 2; core++ {
+			mi.Access(0, Request{Addr: 0x10000, Type: Read, Core: core})
+			mesi.Access(0, Request{Addr: 0x10000, Type: Read, Core: core})
+		}
+	}
+	if mi.Invalidations() <= mesi.Invalidations() {
+		t.Fatalf("MI_example (%v invals) should thrash more than MESI (%v) on shared reads",
+			mi.Invalidations(), mesi.Invalidations())
+	}
+}
+
+func TestRubyWriteInvalidatesSharers(t *testing.T) {
+	r := NewRuby(4, MESITwoLevel, ClassicConfig{})
+	for core := 0; core < 4; core++ {
+		r.Access(0, Request{Addr: 0x10000, Type: Read, Core: core})
+	}
+	before := r.Invalidations()
+	r.Access(0, Request{Addr: 0x10000, Type: Write, Core: 0})
+	if r.Invalidations()-before != 3 {
+		t.Fatalf("write to 4-way shared line sent %v invalidations, want 3",
+			r.Invalidations()-before)
+	}
+	// Other cores must now miss.
+	for core := 1; core < 4; core++ {
+		if r.l1s[core].peek(0x10000) != nil {
+			t.Fatalf("core %d still holds an invalidated line", core)
+		}
+	}
+}
+
+func TestRubyExclusiveSilentUpgrade(t *testing.T) {
+	r := NewRuby(2, MESITwoLevel, ClassicConfig{})
+	r.Access(0, Request{Addr: 0x10000, Type: Read, Core: 0}) // granted E
+	lat := r.Access(0, Request{Addr: 0x10000, Type: Write, Core: 0})
+	if lat != r.l1HitLat {
+		t.Fatalf("E->M upgrade paid directory latency: %d", lat)
+	}
+	if r.Invalidations() != 0 {
+		t.Fatal("silent upgrade sent invalidations")
+	}
+}
+
+func TestRubySharedUpgradePaysDirectory(t *testing.T) {
+	r := NewRuby(2, MESITwoLevel, ClassicConfig{})
+	r.Access(0, Request{Addr: 0x10000, Type: Read, Core: 0})
+	r.Access(0, Request{Addr: 0x10000, Type: Read, Core: 1}) // both Shared now
+	lat := r.Access(0, Request{Addr: 0x10000, Type: Write, Core: 0})
+	if lat <= r.l1HitLat {
+		t.Fatalf("S->M upgrade was free: %d", lat)
+	}
+	if r.Invalidations() != 1 {
+		t.Fatalf("upgrade sent %v invalidations, want 1", r.Invalidations())
+	}
+}
+
+func TestRubyMissSlowerThanClassicMiss(t *testing.T) {
+	// The paper: Ruby is "slower but models detailed memory". A cold miss
+	// through the directory must cost at least as much as classic's.
+	cl := NewClassic(1, ClassicConfig{})
+	rb := NewRuby(1, MESITwoLevel, ClassicConfig{})
+	clLat := cl.Access(0, Request{Addr: 0x10000, Type: Read})
+	rbLat := rb.Access(0, Request{Addr: 0x10000, Type: Read})
+	if rbLat <= clLat {
+		t.Fatalf("ruby cold miss (%d) not slower than classic (%d)", rbLat, clLat)
+	}
+}
+
+func TestKindLabels(t *testing.T) {
+	if NewClassic(1, ClassicConfig{}).Kind() != "classic" {
+		t.Fatal("classic kind")
+	}
+	if NewRuby(1, MIExample, ClassicConfig{}).Kind() != "ruby.MI_example" {
+		t.Fatal("MI kind")
+	}
+	if NewRuby(1, MESITwoLevel, ClassicConfig{}).Kind() != "ruby.MESI_Two_Level" {
+		t.Fatal("MESI kind")
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Atomic.String() != "atomic" {
+		t.Fatal("AccessType strings")
+	}
+}
+
+func TestStatsExported(t *testing.T) {
+	c := NewClassic(1, ClassicConfig{})
+	c.Access(0, Request{Addr: 0x10000, Type: Read})
+	vals := c.Stats().Values()
+	if vals["system.l1.misses"] != 1 {
+		t.Fatalf("stats: %v", vals)
+	}
+	if vals["system.mem.requests"] != 1 {
+		t.Fatalf("dram stat missing: %v", vals)
+	}
+}
+
+func TestL2PrefetcherHelpsSequentialWalks(t *testing.T) {
+	walk := func(prefetch bool) (sim.Tick, float64) {
+		c := NewClassic(1, ClassicConfig{L1Bytes: 1024, L1Ways: 2, L2Prefetch: prefetch})
+		var now sim.Tick
+		// Sequential line-by-line walk over 2 MiB: misses L1 and (cold) L2.
+		for i := int64(0); i < 4096; i++ {
+			now += c.Access(now, Request{Addr: 0x100000 + i*64, Type: Read})
+		}
+		return now, c.Stats().Values()["system.l2.prefetches"]
+	}
+	base, basePf := walk(false)
+	pf, pfCount := walk(true)
+	if basePf != 0 {
+		t.Fatal("prefetches issued with prefetcher disabled")
+	}
+	if pfCount == 0 {
+		t.Fatal("prefetcher never fired")
+	}
+	if pf >= base {
+		t.Fatalf("prefetcher did not help a sequential walk: %d >= %d", pf, base)
+	}
+}
+
+func TestL2PrefetcherWastesBandwidthOnRandomWalks(t *testing.T) {
+	walk := func(prefetch bool) float64 {
+		c := NewClassic(1, ClassicConfig{L2Prefetch: prefetch})
+		addr := int64(0x100000)
+		var now sim.Tick
+		for i := 0; i < 2000; i++ {
+			addr = (addr*6364136223846793005 + 1442695040888963407) & 0xFFFFFF &^ 7
+			now += c.Access(now, Request{Addr: 0x100000 + addr, Type: Read})
+		}
+		return c.Stats().Values()["system.mem.requests"]
+	}
+	if walk(true) <= walk(false) {
+		t.Fatal("prefetcher should issue extra DRAM requests on random walks")
+	}
+}

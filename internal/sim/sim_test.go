@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	q.Schedule(30, func() { order = append(order, 3) })
+	q.Schedule(10, func() { order = append(order, 1) })
+	q.Schedule(20, func() { order = append(order, 2) })
+	end := q.Run()
+	if end != 30 {
+		t.Fatalf("final tick = %d, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v", order)
+	}
+}
+
+func TestEventFIFOAtSameTick(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(5, func() { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events ran out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestEventPriority(t *testing.T) {
+	q := NewEventQueue()
+	var order []string
+	q.ScheduleP(5, 1, func() { order = append(order, "low") })
+	q.ScheduleP(5, -1, func() { order = append(order, "high") })
+	q.Run()
+	if order[0] != "high" {
+		t.Fatalf("priority order = %v", order)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	q := NewEventQueue()
+	q.Schedule(100, func() {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.Schedule(50, func() {})
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	q := NewEventQueue()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			q.After(10, tick)
+		}
+	}
+	q.Schedule(0, tick)
+	end := q.Run()
+	if count != 5 {
+		t.Fatalf("self-rescheduling event ran %d times", count)
+	}
+	if end != 40 {
+		t.Fatalf("final tick = %d, want 40", end)
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	q := NewEventQueue()
+	ran := 0
+	q.Schedule(1, func() { ran++; q.Stop() })
+	q.Schedule(2, func() { ran++ })
+	q.Run()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the run; ran=%d", ran)
+	}
+	// The remaining event is still pending and a new Run resumes.
+	q.Run()
+	if ran != 2 {
+		t.Fatalf("resumed run did not execute pending events; ran=%d", ran)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := NewEventQueue()
+	var ticks []Tick
+	for _, w := range []Tick{10, 20, 30} {
+		w := w
+		q.Schedule(w, func() { ticks = append(ticks, w) })
+	}
+	q.RunUntil(20)
+	if len(ticks) != 2 {
+		t.Fatalf("RunUntil(20) executed %v", ticks)
+	}
+	if q.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", q.Pending())
+	}
+}
+
+func TestRandomOrderProperty(t *testing.T) {
+	// Property: events always execute in nondecreasing tick order no
+	// matter what order they were scheduled in.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewEventQueue()
+		var got []Tick
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			w := Tick(rng.Intn(1000))
+			q.Schedule(w, func() { got = append(got, q.Now()) })
+		}
+		q.Run()
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) &&
+			len(got) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(1_000_000_000) // 1 GHz
+	if c.Period != 1000 {
+		t.Fatalf("1 GHz period = %d ticks, want 1000", c.Period)
+	}
+	if c.Cycles(5) != 5000 {
+		t.Fatalf("5 cycles = %d ticks", c.Cycles(5))
+	}
+	if Tick(2_000_000_000_000).Seconds() != 2.0 {
+		t.Fatal("Seconds conversion wrong")
+	}
+}
+
+func TestScalarAndFormula(t *testing.T) {
+	g := NewStatGroup()
+	insts := g.Scalar("sim_insts", "instructions simulated")
+	cycles := g.Scalar("sim_cycles", "cycles simulated")
+	ipc := g.Formula("ipc", "instructions per cycle", func() float64 {
+		if cycles.Value() == 0 {
+			return 0
+		}
+		return insts.Value() / cycles.Value()
+	})
+	insts.Add(300)
+	cycles.Add(100)
+	if ipc.Value() != 3 {
+		t.Fatalf("ipc = %v", ipc.Value())
+	}
+	insts.Inc()
+	if insts.Value() != 301 {
+		t.Fatalf("Inc: %v", insts.Value())
+	}
+}
+
+func TestVector(t *testing.T) {
+	g := NewStatGroup()
+	v := g.Vector("committedInsts", "per-core instructions", 4)
+	v.Add(0, 10)
+	v.Add(3, 5)
+	if v.At(0) != 10 || v.At(3) != 5 || v.Value() != 15 || v.Len() != 4 {
+		t.Fatalf("vector state wrong: %v total %v", v, v.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("latency", "miss latency", 0, 10, 5)
+	for _, s := range []float64{1, 11, 12, 49, 1000} {
+		h.Sample(s)
+	}
+	if h.Samples() != 5 {
+		t.Fatalf("samples = %v", h.Samples())
+	}
+	wantMean := (1.0 + 11 + 12 + 49 + 1000) / 5
+	if h.Mean() != wantMean {
+		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	lines := strings.Join(h.Render(), "\n")
+	if !strings.Contains(lines, "latency::samples") {
+		t.Fatal("render missing samples line")
+	}
+}
+
+func TestDuplicateStatPanics(t *testing.T) {
+	g := NewStatGroup()
+	g.Scalar("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate stat registration did not panic")
+		}
+	}()
+	g.Scalar("x", "")
+}
+
+func TestDumpFormatAndValues(t *testing.T) {
+	g := NewStatGroup()
+	g.Scalar("b_stat", "second").Set(2)
+	g.Scalar("a_stat", "first").Set(1)
+	out := g.Dump()
+	if !strings.HasPrefix(out, "---------- Begin Simulation Statistics ----------") {
+		t.Fatal("missing begin marker")
+	}
+	if strings.Index(out, "a_stat") > strings.Index(out, "b_stat") {
+		t.Fatal("dump not sorted by stat name")
+	}
+	vals := g.Values()
+	if vals["a_stat"] != 1 || vals["b_stat"] != 2 {
+		t.Fatalf("Values = %v", vals)
+	}
+	if g.Lookup("a_stat") == nil || g.Lookup("zzz") != nil {
+		t.Fatal("Lookup misbehaved")
+	}
+}
+
+func TestConfigTree(t *testing.T) {
+	root := NewConfig("system", "System")
+	root.Set("mem_mode", "timing")
+	cpu := root.Child("cpu0", "TimingSimpleCPU")
+	cpu.Set("cores", 1)
+	cache := cpu.Child("dcache", "Cache")
+	cache.Set("size", "16kB")
+
+	if root.Find("cpu0.dcache") != cache {
+		t.Fatal("Find failed on nested path")
+	}
+	if root.Find("nope") != nil {
+		t.Fatal("Find invented a node")
+	}
+	if root.CountNodes() != 3 {
+		t.Fatalf("CountNodes = %d", root.CountNodes())
+	}
+	out := root.Render()
+	for _, want := range []string{"[system]", "[system.cpu0]", "[system.cpu0.dcache]",
+		"type=TimingSimpleCPU", "size=16kB", "mem_mode=timing"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}

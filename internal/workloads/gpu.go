@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gem5art/internal/sim/gpu"
+)
+
+// GPUWorkload pairs a Table IV benchmark with its kernel descriptor and
+// the input-size string the paper reports.
+type GPUWorkload struct {
+	Suite  string // "hip-samples", "heterosync", "dnnmark", "doe-proxy"
+	Input  string
+	Kernel gpu.KernelDesc
+}
+
+// GPUWorkloads returns the 29 benchmarks of use case 3 in Figure 9's
+// order. Descriptor parameters encode each application's documented
+// character: grid size (whether dynamic can raise occupancy at all),
+// synchronization intensity (HeteroSync's contended atomics), dependence
+// density (DNNMark's pooling layers), and memory-latency sensitivity
+// (inline_asm, MatrixTranspose, stream, PENNANT).
+func GPUWorkloads() []GPUWorkload {
+	hip := func(name, input string, k gpu.KernelDesc) GPUWorkload {
+		k.Name = name
+		return GPUWorkload{Suite: "hip-samples", Input: input, Kernel: k}
+	}
+	hs := func(name string, k gpu.KernelDesc) GPUWorkload {
+		k.Name = name
+		return GPUWorkload{Suite: "heterosync",
+			Input: "10 Ld/St/thr/CS, 8 WGs/CU, 2 iters", Kernel: k}
+	}
+	dnn := func(name, input string, k gpu.KernelDesc) GPUWorkload {
+		k.Name = name
+		return GPUWorkload{Suite: "dnnmark", Input: input, Kernel: k}
+	}
+	doe := func(name, input string, k gpu.KernelDesc) GPUWorkload {
+		k.Name = name
+		return GPUWorkload{Suite: "doe-proxy", Input: input, Kernel: k}
+	}
+
+	// Shared shapes.
+	tiny := gpu.KernelDesc{WGs: 2, WavesPerWG: 1, VRegsPerWave: 64,
+		OpsPerWave: 160, MemFrac: 0.15, DepDensity: 0.25, Locality: 0.8}
+	smallShared := gpu.KernelDesc{WGs: 4, WavesPerWG: 2, VRegsPerWave: 96,
+		LDSPerWG: 4096, OpsPerWave: 220, MemFrac: 0.12, LDSFrac: 0.2,
+		DepDensity: 0.25, Locality: 0.8}
+	bigMem := gpu.KernelDesc{WGs: 96, WavesPerWG: 4, VRegsPerWave: 96,
+		OpsPerWave: 260, MemFrac: 0.30, DepDensity: 0.06, Locality: 0.97}
+	mutex := gpu.KernelDesc{WGs: 32, WavesPerWG: 4, VRegsPerWave: 64,
+		OpsPerWave: 220, MemFrac: 0.10, AtomicFrac: 0.22, DepDensity: 0.25,
+		Locality: 0.6}
+	mutexUniq := mutex
+	mutexUniq.AtomicFrac = 0.12  // per-WG locks contend less
+	mutexUniq.AtomicChannels = 2 // locks spread over independent lines
+	barrier := gpu.KernelDesc{WGs: 32, WavesPerWG: 4, VRegsPerWave: 512,
+		OpsPerWave: 240, MemFrac: 0.12, AtomicFrac: 0.10, DepDensity: 0.5,
+		Locality: 0.6, Barriers: 4, AtomicChannels: 2}
+	pool := gpu.KernelDesc{WGs: 48, WavesPerWG: 4, VRegsPerWave: 80,
+		OpsPerWave: 280, MemFrac: 0.06, DepDensity: 0.62, Locality: 0.9}
+	dnnMemLayer := gpu.KernelDesc{WGs: 64, WavesPerWG: 4, VRegsPerWave: 96,
+		OpsPerWave: 240, MemFrac: 0.28, DepDensity: 0.10, Locality: 0.97}
+	dnnSmall := gpu.KernelDesc{WGs: 4, WavesPerWG: 2, VRegsPerWave: 96,
+		OpsPerWave: 200, MemFrac: 0.2, DepDensity: 0.3, Locality: 0.7}
+	proxyLimited := gpu.KernelDesc{WGs: 4, WavesPerWG: 4, VRegsPerWave: 128,
+		OpsPerWave: 320, MemFrac: 0.25, DepDensity: 0.3, Locality: 0.6}
+
+	ws := []GPUWorkload{
+		hip("2dshfl", "4x4", withSeed(tiny, 201)),
+		hip("dynamic_shared", "16x16", withSeed(smallShared, 202)),
+		hip("inline_asm", "1024x1024", withSeed(bigMem, 203)),
+		hip("MatrixTranspose", "1024x1024", withSeed(bigMem, 204)),
+		hip("sharedMemory", "64x64", withSeed(smallShared, 205)),
+		hip("shfl", "4x4", withSeed(tiny, 206)),
+		hip("stream", "32x32", withSeed(bigMemScaled(0.7), 207)),
+		hip("unroll", "4x4", withSeed(tiny, 208)),
+
+		hs("SpinMutexEBO", withSeed(mutexScaled(mutex, 0.18), 211)),
+		hs("FAMutex", withSeed(mutexScaled(mutex, 0.30), 212)),
+		hs("SleepMutex", withSeed(sleepVariant(mutex, 0.10), 213)),
+		hs("SpinMutexEBOUniq", withSeed(mutexScaled(mutexUniq, 0.10), 214)),
+		hs("FAMutexUniq", withSeed(mutexScaled(mutexUniq, 0.14), 215)),
+		hs("SleepMutexUniq", withSeed(mutexScaled(mutexUniq, 0.07), 216)),
+		hs("LFTreeBarrUniq", withSeed(barrier, 217)),
+		hs("LFTreeBarrUniqLocalExch", withSeed(barrierLocal(barrier), 218)),
+
+		dnn("bwd_bypass", "NCHW = 100, 1000, 1, 1", withSeed(dnnSmall, 221)),
+		dnn("bwd_bn", "NCHW = 100, 1000, 1, 1", withSeed(dnnMemLayer, 222)),
+		dnn("bwd_composed_model", "NCHW = 32, 32, 3, 1", withSeed(dnnSmall, 223)),
+		dnn("bwd_pool", "NCHW = 100, 3, 256, 256", withSeed(pool, 224)),
+		dnn("bwd_softmax", "NCHW = 100, 1000, 1, 1", withSeed(dnnMemLayer, 225)),
+		dnn("fwd_bypass", "NCHW = 100, 1000, 1, 1", withSeed(dnnSmall, 226)),
+		dnn("fwd_bn", "NCHW = 100, 1000, 1, 1", withSeed(dnnMemLayer, 227)),
+		dnn("fwd_composed_model", "NCHW = 32, 32, 3, 1", withSeed(dnnSmall, 228)),
+		dnn("fwd_pool", "NCHW = 100, 3, 256, 256", withSeed(pool, 229)),
+		dnn("fwd_softmax", "NCHW = 100, 1000, 1, 1", withSeed(dnnMemLayer, 230)),
+
+		doe("HACC", "forceTreeTest 0.5 0.1 64 0.1 100 N 12 rcb", withSeed(proxyLimited, 231)),
+		doe("LULESH", "1 iteration", withSeed(proxyLimited, 232)),
+		doe("PENNANT", "noh", withSeed(bigMemScaled(0.9), 233)),
+	}
+	return ws
+}
+
+func withSeed(k gpu.KernelDesc, seed int64) gpu.KernelDesc {
+	k.Seed = seed
+	return k
+}
+
+func bigMemScaled(scale float64) gpu.KernelDesc {
+	k := gpu.KernelDesc{WGs: 96, WavesPerWG: 4, VRegsPerWave: 96,
+		OpsPerWave: 260, MemFrac: 0.30, DepDensity: 0.06, Locality: 0.97}
+	k.WGs = int(float64(k.WGs) * scale)
+	return k
+}
+
+func mutexScaled(base gpu.KernelDesc, atomicFrac float64) gpu.KernelDesc {
+	base.AtomicFrac = atomicFrac
+	return base
+}
+
+func sleepVariant(base gpu.KernelDesc, atomicFrac float64) gpu.KernelDesc {
+	// Sleep mutexes park waiting waves instead of hammering the line, so
+	// contention spreads over two lines' worth of traffic.
+	base.AtomicFrac = atomicFrac
+	base.AtomicChannels = 2
+	return base
+}
+
+func barrierLocal(base gpu.KernelDesc) gpu.KernelDesc {
+	// The LocalExch variant exchanges through LDS, lowering global
+	// traffic.
+	base.LDSFrac = 0.2
+	base.MemFrac = 0.06
+	return base
+}
+
+// FindGPUWorkload returns the named Table IV benchmark.
+func FindGPUWorkload(name string) (GPUWorkload, error) {
+	for _, w := range GPUWorkloads() {
+		if w.Kernel.Name == name {
+			return w, nil
+		}
+	}
+	return GPUWorkload{}, fmt.Errorf("workloads: unknown GPU benchmark %q", name)
+}
+
+// GPUWorkloadNames returns Figure 9's x-axis labels in order.
+func GPUWorkloadNames() []string {
+	ws := GPUWorkloads()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Kernel.Name
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"testing"
+
+	"gem5art/internal/sim/gpu"
+)
+
+func TestTable4Has29Workloads(t *testing.T) {
+	ws := GPUWorkloads()
+	if len(ws) != 29 {
+		t.Fatalf("%d GPU workloads, want 29 (Table IV)", len(ws))
+	}
+	suites := map[string]int{}
+	for _, w := range ws {
+		suites[w.Suite]++
+		if w.Input == "" {
+			t.Errorf("%s has no input size", w.Kernel.Name)
+		}
+	}
+	if suites["hip-samples"] != 8 || suites["heterosync"] != 8 ||
+		suites["dnnmark"] != 10 || suites["doe-proxy"] != 3 {
+		t.Fatalf("suite sizes: %v", suites)
+	}
+}
+
+func TestAllKernelsValidate(t *testing.T) {
+	for _, w := range GPUWorkloads() {
+		if err := w.Kernel.Validate(gpu.Config{}); err != nil {
+			t.Errorf("%s: %v", w.Kernel.Name, err)
+		}
+	}
+}
+
+func TestFindGPUWorkload(t *testing.T) {
+	w, err := FindGPUWorkload("FAMutex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Suite != "heterosync" {
+		t.Fatalf("FAMutex suite = %s", w.Suite)
+	}
+	if _, err := FindGPUWorkload("nonexistent"); err == nil {
+		t.Fatal("found a nonexistent workload")
+	}
+}
+
+// TestFigure9Shape verifies the headline result of use case 3: the
+// dynamic register allocator loses on average (simple wins by ~8%),
+// FAMutex and the pooling layers suffer badly under dynamic, while the
+// large latency-bound kernels benefit from it.
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("58 GPU simulations")
+	}
+	speedups := map[string]float64{}
+	for _, w := range GPUWorkloads() {
+		sp, err := gpu.Speedup(gpu.Config{}, w.Kernel)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Kernel.Name, err)
+		}
+		speedups[w.Kernel.Name] = sp
+	}
+
+	// Per-app signs from §VI-C.
+	if sp := speedups["FAMutex"]; sp > 0.75 || sp < 0.45 {
+		t.Errorf("FAMutex dynamic speedup = %.3f, want ~0.62 (61%% worse)", sp)
+	}
+	for _, pool := range []string{"fwd_pool", "bwd_pool"} {
+		if sp := speedups[pool]; sp > 0.90 || sp < 0.72 {
+			t.Errorf("%s dynamic speedup = %.3f, want ~0.82 (22%% worse)", pool, sp)
+		}
+	}
+	for _, winner := range []string{"inline_asm", "MatrixTranspose", "stream", "PENNANT"} {
+		if sp := speedups[winner]; sp < 1.10 {
+			t.Errorf("%s dynamic speedup = %.3f, want > 1.10", winner, sp)
+		}
+	}
+	for _, flat := range []string{"2dshfl", "shfl", "unroll", "HACC", "LULESH"} {
+		if sp := speedups[flat]; sp < 0.9 || sp > 1.1 {
+			t.Errorf("%s dynamic speedup = %.3f, want ~1.0 (little difference)", flat, sp)
+		}
+	}
+	for _, mtx := range []string{"SpinMutexEBO", "SleepMutex", "SpinMutexEBOUniq",
+		"FAMutexUniq", "SleepMutexUniq"} {
+		if sp := speedups[mtx]; sp >= 1.0 {
+			t.Errorf("%s dynamic speedup = %.3f, want < 1 (HeteroSync suffers)", mtx, sp)
+		}
+	}
+
+	// Headline: "on average the simple register allocator improves GPU
+	// performance by 8% compared to the dynamic register allocator" —
+	// the mean of simple's per-app relative performance (1/speedup).
+	var simpleAdvantage float64
+	for _, sp := range speedups {
+		simpleAdvantage += 1 / sp
+	}
+	meanAdv := simpleAdvantage / float64(len(speedups))
+	t.Logf("mean simple-over-dynamic performance = %.3f (paper: 1.08)", meanAdv)
+	if meanAdv < 1.02 || meanAdv > 1.15 {
+		t.Errorf("mean simple advantage = %.3f, want ~1.08", meanAdv)
+	}
+}
+
+func TestGPUWorkloadNamesOrdered(t *testing.T) {
+	names := GPUWorkloadNames()
+	if len(names) != 29 || names[0] != "2dshfl" || names[28] != "PENNANT" {
+		t.Fatalf("names: %v", names)
+	}
+}
