@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build vet test race ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet race

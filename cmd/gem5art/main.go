@@ -81,6 +81,7 @@ func useCase(args []string, fn func(caseOpts) error) error {
 	dbDir := fs.String("db", "", "database directory (default: in-memory)")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel simulations")
 	quick := fs.Bool("quick", false, "run a reduced sweep")
+	retries := fs.Int("retries", 1, "attempts per run (>1 retries transient failures with backoff)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +90,11 @@ func useCase(args []string, fn func(caseOpts) error) error {
 		return err
 	}
 	defer env.DB().Close()
+	if *retries > 1 {
+		rp := tasks.DefaultRetryPolicy()
+		rp.MaxAttempts = *retries
+		env.Retry = rp
+	}
 	start := time.Now()
 	if err := fn(caseOpts{env: env, workers: *workers, quick: *quick}); err != nil {
 		return err
@@ -156,7 +162,31 @@ func summaryCmd(args []string) error {
 	}
 	defer db.Close()
 	fmt.Println(launch.Summarize(db))
+	printFlakyRuns(db)
 	return nil
+}
+
+// printFlakyRuns lists runs that needed more than one attempt, with
+// each attempt's status — the per-run history the retry layer persists.
+func printFlakyRuns(db *database.DB) {
+	for _, d := range db.Collection("runs").Find(nil) {
+		atts, ok := d["attempts"].([]any)
+		if !ok || len(atts) < 2 {
+			continue
+		}
+		fmt.Printf("flaky run %v (%v):\n", d["name"], d["_id"])
+		for _, raw := range atts {
+			a, _ := raw.(map[string]any)
+			line := fmt.Sprintf("  attempt %v: %v", a["index"], a["status"])
+			if e, _ := a["error"].(string); e != "" {
+				line += " (" + e + ")"
+			}
+			if rf, _ := a["resumed_from"].(string); rf != "" {
+				line += fmt.Sprintf(" [resumed from %.12s]", rf)
+			}
+			fmt.Println(line)
+		}
+	}
 }
 
 func artifactsCmd(args []string) error {
@@ -185,10 +215,20 @@ func distributeCmd(args []string) error {
 	fs := flag.NewFlagSet("distribute", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7733", "broker listen address")
 	minWorkers := fs.Int("min-workers", 1, "wait for this many workers")
+	retries := fs.Int("retries", 3, "attempts per job (1 disables retries)")
+	lease := fs.Duration("lease", 30*time.Minute, "per-assignment execution lease (0 disables)")
+	hbTimeout := fs.Duration("heartbeat-timeout", 5*time.Second,
+		"revoke workers silent for this long (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	broker, err := tasks.NewBroker(*listen)
+	rp := tasks.DefaultRetryPolicy()
+	rp.MaxAttempts = *retries
+	broker, err := tasks.NewBrokerWithOptions(*listen, tasks.BrokerOptions{
+		HeartbeatTimeout: *hbTimeout,
+		Lease:            *lease,
+		Retry:            rp,
+	})
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"time"
 
 	"gem5art/internal/core/tasks"
 	"gem5art/internal/sim/cpu"
@@ -26,11 +27,17 @@ import (
 func main() {
 	broker := flag.String("broker", "127.0.0.1:7733", "broker address")
 	capacity := flag.Int("capacity", runtime.NumCPU(), "parallel jobs")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond,
+		"interval between liveness heartbeats (negative disables)")
 	flag.Parse()
 
-	w, err := tasks.NewWorker(*broker, *capacity, map[string]tasks.JobHandler{
-		"boot": bootJob,
-		"gpu":  gpuJob,
+	w, err := tasks.NewWorkerWithOptions(*broker, tasks.WorkerOptions{
+		Capacity: *capacity,
+		Handlers: map[string]tasks.JobHandler{
+			"boot": bootJob,
+			"gpu":  gpuJob,
+		},
+		HeartbeatInterval: *heartbeat,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gem5worker:", err)

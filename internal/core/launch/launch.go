@@ -91,6 +91,11 @@ func NewExperiment(name string, reg *artifact.Registry, workers int) *Experiment
 	return &Experiment{Name: name, Reg: reg, Pool: tasks.NewPool(workers)}
 }
 
+// SetRetryPolicy makes the experiment's pool re-execute runs whose
+// failures are classified retryable — gem5art's "rerun failed Celery
+// tasks". Each re-execution is recorded in the run's attempt history.
+func (e *Experiment) SetRetryPolicy(rp tasks.RetryPolicy) { e.Pool.SetRetryPolicy(rp) }
+
 // LaunchFS creates a full-system run from the spec and schedules it
 // asynchronously (Figure 5's apply_async).
 func (e *Experiment) LaunchFS(spec run.FSSpec) (*run.Run, error) {
@@ -126,11 +131,15 @@ func (e *Experiment) Close() { e.Pool.Close() }
 func (e *Experiment) Runs() []*run.Run { return e.runs }
 
 // Summary aggregates run statuses and outcomes from the database — the
-// "query the database at any time" step of Figure 2.
+// "query the database at any time" step of Figure 2. Retried counts
+// runs that needed more than one attempt (flaky runs); Resumed counts
+// runs that recovered from a prior attempt's checkpoint.
 type Summary struct {
 	Total     int
 	ByStatus  map[string]int
 	ByOutcome map[string]int
+	Retried   int
+	Resumed   int
 }
 
 // Summarize builds a Summary over all runs in the database.
@@ -144,13 +153,26 @@ func Summarize(db *database.DB) Summary {
 		if oc, ok := d["outcome"].(string); ok && oc != "" {
 			s.ByOutcome[oc]++
 		}
+		if atts, ok := d["attempts"].([]any); ok && len(atts) > 1 {
+			s.Retried++
+		}
+		if rf, ok := d["resumed_from"].(string); ok && rf != "" {
+			s.Resumed++
+		}
 	}
 	return s
 }
 
-// String renders the summary for terminals.
+// String renders the summary for terminals, flagging flaky runs.
 func (s Summary) String() string {
-	return fmt.Sprintf("%d runs; status=%v outcome=%v", s.Total, s.ByStatus, s.ByOutcome)
+	out := fmt.Sprintf("%d runs; status=%v outcome=%v", s.Total, s.ByStatus, s.ByOutcome)
+	if s.Retried > 0 {
+		out += fmt.Sprintf(" retried=%d", s.Retried)
+	}
+	if s.Resumed > 0 {
+		out += fmt.Sprintf(" resumed=%d", s.Resumed)
+	}
+	return out
 }
 
 // RecordScript registers the launch script's own source as an artifact,

@@ -221,6 +221,9 @@ func runGAPBS(r *Run) (*Results, error) { return runSuiteProgram(r, "gapbs") }
 
 // execBinary decodes and runs one program on the configured system.
 func execBinary(r *Run, bin []byte) (*Results, error) {
+	if err := r.faultPoint("run.exec"); err != nil {
+		return nil, err
+	}
 	prog, err := decodeProgram(bin)
 	if err != nil {
 		return nil, err

@@ -9,10 +9,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"gem5art/internal/core/artifact"
 	"gem5art/internal/database"
+	"gem5art/internal/faultinject"
+	"gem5art/internal/sim/cpu"
 )
 
 // Collection is the database collection run documents live in.
@@ -62,9 +65,22 @@ type Results struct {
 	StatsHash   string // file-store hash of the archived stats.txt
 	ConsoleHash string // file-store hash of the archived console log
 	ConfigHash  string // file-store hash of the archived config.ini
+	ResumedFrom string // checkpoint hash this run resumed from, if retried
+}
+
+// Attempt records one execution of a run — the per-run lifecycle
+// history gem5art report uses to surface flaky runs.
+type Attempt struct {
+	Index       int       // 1-based attempt number
+	Start, End  time.Time // wall-clock bounds of the attempt
+	Status      Status    // how the attempt ended (Done, Failed, TimedOut)
+	Err         string    // the attempt's error, if any
+	ResumedFrom string    // checkpoint hash the attempt resumed from
 }
 
 // Run is one experiment — "one unique experiment (a single data point)".
+// A run may be executed more than once (the fault-tolerance layer
+// retries failed attempts); every execution is recorded in Attempts.
 type Run struct {
 	ID        string
 	Mode      string // "fs" or "se"
@@ -73,8 +89,12 @@ type Run struct {
 	Results   *Results
 	WallStart time.Time
 	WallEnd   time.Time
+	Attempts  []Attempt
 
-	reg *artifact.Registry
+	mu       sync.Mutex
+	ckptHash string // checkpoint archived by a prior attempt
+	inject   *faultinject.Injector
+	reg      *artifact.Registry
 }
 
 // DefaultTimeout matches createFSRun's 15-minute default.
@@ -145,18 +165,40 @@ func (r *Run) Param(key, def string) string {
 	return def
 }
 
-// Execute runs the experiment: it dispatches to the run script's
-// handler, enforces the timeout, archives results, and updates the run's
-// database document. It never returns simulator failures as errors —
-// those are outcomes (the run is Done with e.g. a kernel-panic outcome);
-// errors mean the run itself could not be performed.
+// Execute runs one attempt of the experiment: it dispatches to the run
+// script's handler, enforces the timeout, archives results, and updates
+// the run's database document. It never returns simulator failures as
+// errors — those are outcomes (the run is Done with e.g. a kernel-panic
+// outcome); errors mean the run itself could not be performed.
+//
+// Execute may be called again after a Failed or TimedOut attempt (the
+// retry path); each call appends to the run's attempt history. A Done
+// run refuses re-execution with a typed *TransitionError, and a stale
+// attempt — one that was revoked by a lease expiry and finishes after a
+// newer attempt already completed the run — records its history without
+// clobbering the completed result.
 func (r *Run) Execute(ctx context.Context) error {
 	h, ok := handler(r.Spec.RunScript)
 	if !ok {
 		return fmt.Errorf("run: no handler for %q", r.Spec.RunScript)
 	}
+	r.mu.Lock()
+	if err := r.Status.CanTransition(Running); err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	r.Status = Running
-	r.WallStart = time.Now()
+	if r.WallStart.IsZero() {
+		r.WallStart = time.Now()
+	}
+	r.Attempts = append(r.Attempts, Attempt{
+		Index:       len(r.Attempts) + 1,
+		Start:       time.Now(),
+		Status:      Running,
+		ResumedFrom: r.ckptHash,
+	})
+	idx := len(r.Attempts) - 1
+	r.mu.Unlock()
 	r.update()
 
 	ctx, cancel := context.WithTimeout(ctx, r.Spec.Timeout)
@@ -167,34 +209,115 @@ func (r *Run) Execute(ctx context.Context) error {
 	}
 	ch := make(chan outcome, 1)
 	go func() {
+		defer func() {
+			// A panicking handler is a crashed simulation, not a dead
+			// experiment: convert it to an error the retry policy can
+			// classify.
+			if rec := recover(); rec != nil {
+				ch <- outcome{nil, fmt.Errorf("run: %s: handler panicked: %v", r.Spec.Name, rec)}
+			}
+		}()
 		res, err := h(r)
 		ch <- outcome{res, err}
 	}()
 	select {
 	case <-ctx.Done():
-		r.Status = TimedOut
-		r.WallEnd = time.Now()
-		r.update()
+		r.finishAttempt(idx, TimedOut, nil, nil)
 		return nil
 	case out := <-ch:
-		r.WallEnd = time.Now()
 		if out.err != nil {
-			r.Status = Failed
-			r.Results = &Results{Outcome: "error: " + out.err.Error()}
-			r.update()
+			r.finishAttempt(idx, Failed, &Results{Outcome: "error: " + out.err.Error()}, out.err)
 			return out.err
 		}
-		r.Results = out.res
-		r.archive()
-		r.Status = Done
-		r.update()
+		r.finishAttempt(idx, Done, out.res, nil)
 		return nil
 	}
 }
 
-// archive stores the stats dump and console output as files in the
-// database, recording their hashes on the run document.
-func (r *Run) archive() {
+// finishAttempt closes out attempt idx and, unless the attempt is
+// stale, promotes its outcome to the run.
+func (r *Run) finishAttempt(idx int, status Status, res *Results, aerr error) {
+	r.mu.Lock()
+	a := &r.Attempts[idx]
+	a.End = time.Now()
+	a.Status = status
+	if aerr != nil {
+		a.Err = aerr.Error()
+	}
+	// Stale if the run already completed, or a newer attempt superseded
+	// this one and this one did not succeed.
+	if r.Status == Done || (idx != len(r.Attempts)-1 && status != Done) {
+		r.mu.Unlock()
+		r.update()
+		return
+	}
+	r.WallEnd = a.End
+	r.Status = status
+	if res != nil {
+		r.Results = res
+	}
+	if status == Done {
+		r.archiveLocked()
+	}
+	r.mu.Unlock()
+	r.update()
+}
+
+// SetInjector arms a fault injector consulted at named points inside
+// run handlers (e.g. "run.exec", "run.hackback.phase2") — the test hook
+// for crash/hang/flaky-run recovery. Call before Execute.
+func (r *Run) SetInjector(in *faultinject.Injector) { r.inject = in }
+
+// faultPoint consults the run's injector; a nil injector is free.
+func (r *Run) faultPoint(site string) error { return r.inject.Hit(site) }
+
+// RecordCheckpoint publishes the file-store hash of a checkpoint
+// archived by the current attempt, so a later attempt can resume from
+// it instead of repeating the work (the boot, for an FS run).
+func (r *Run) RecordCheckpoint(hash string) {
+	r.mu.Lock()
+	r.ckptHash = hash
+	r.mu.Unlock()
+}
+
+// PriorCheckpoint returns the checkpoint archived by an earlier attempt
+// (parsed back from the database file store) and its hash, or nil.
+func (r *Run) PriorCheckpoint() (*cpu.Checkpoint, string) {
+	r.mu.Lock()
+	hash := r.ckptHash
+	r.mu.Unlock()
+	if hash == "" {
+		return nil, ""
+	}
+	raw, err := r.reg.DB().Files().Get(hash)
+	if err != nil {
+		return nil, ""
+	}
+	ck, err := cpu.ParseCheckpoint(raw)
+	if err != nil {
+		return nil, ""
+	}
+	return ck, hash
+}
+
+// AttemptHistory returns a copy of the run's attempt records.
+func (r *Run) AttemptHistory() []Attempt {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Attempt(nil), r.Attempts...)
+}
+
+// StatusNow returns the run's status, safe against concurrent attempts.
+func (r *Run) StatusNow() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Status
+}
+
+// archiveLocked stores the stats dump and console output as files in
+// the database, recording their hashes on the run document. Caller
+// holds r.mu.
+func (r *Run) archiveLocked() {
 	if r.Results == nil {
 		return
 	}
@@ -214,6 +337,8 @@ func (r *Run) archive() {
 	}
 }
 
+// doc renders the run document. The caller holds r.mu or has exclusive
+// access (run creation).
 func (r *Run) doc() database.Doc {
 	d := database.Doc{
 		"_id":         r.ID,
@@ -245,16 +370,46 @@ func (r *Run) doc() database.Doc {
 	if !r.WallStart.IsZero() && !r.WallEnd.IsZero() {
 		d["wall_seconds"] = r.WallEnd.Sub(r.WallStart).Seconds()
 	}
+	if len(r.Attempts) > 0 {
+		atts := make([]any, 0, len(r.Attempts))
+		for _, a := range r.Attempts {
+			m := map[string]any{"index": a.Index, "status": string(a.Status)}
+			if a.Err != "" {
+				m["error"] = a.Err
+			}
+			if a.ResumedFrom != "" {
+				m["resumed_from"] = a.ResumedFrom
+			}
+			if !a.End.IsZero() {
+				m["wall_seconds"] = a.End.Sub(a.Start).Seconds()
+			}
+			atts = append(atts, m)
+		}
+		d["attempts"] = atts
+	}
+	if r.ckptHash != "" {
+		d["checkpoint_file"] = r.ckptHash
+	}
+	if r.Results != nil && r.Results.ResumedFrom != "" {
+		d["resumed_from"] = r.Results.ResumedFrom
+	}
 	return d
 }
 
+// update persists the run document. It takes r.mu itself; callers must
+// not hold it.
 func (r *Run) update() {
-	col := r.reg.DB().Collection(Collection)
+	r.mu.Lock()
 	set := r.doc()
+	r.mu.Unlock()
 	delete(set, "_id")
+	col := r.reg.DB().Collection(Collection)
 	if !col.UpdateOne(database.Doc{"_id": r.ID}, set) {
 		// The document should always exist; recreate defensively.
-		_, _ = col.InsertOne(r.doc())
+		r.mu.Lock()
+		d := r.doc()
+		r.mu.Unlock()
+		_, _ = col.InsertOne(d)
 	}
 }
 

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"gem5art/internal/faultinject"
 )
 
 // The broker protocol is newline-delimited JSON over TCP:
@@ -13,9 +16,23 @@ import (
 //	worker -> broker: {"type":"hello","capacity":N}
 //	broker -> worker: {"type":"task","id":"...","kind":"...","payload":{...}}
 //	worker -> broker: {"type":"result","id":"...","error":"..."}
+//	worker -> broker: {"type":"heartbeat"}
 //
-// A worker that disconnects has its in-flight tasks requeued, so a lost
-// machine does not lose experiments.
+// Three independent mechanisms keep a lost machine from losing
+// experiments:
+//
+//   - disconnect requeue: a worker whose connection drops has its
+//     in-flight jobs requeued (the seed behaviour);
+//   - heartbeats: a worker that holds its connection open but stops
+//     sending messages for longer than BrokerOptions.HeartbeatTimeout is
+//     revoked the same way — this catches hung processes a TCP FIN never
+//     reports;
+//   - leases: each assignment carries a deadline; a job that exceeds
+//     BrokerOptions.Lease is revoked from its worker and retried
+//     elsewhere under the broker's RetryPolicy. Late results from a
+//     revoked assignment are recognised by (job, worker) identity and
+//     dropped, so a wedged attempt that eventually finishes cannot
+//     clobber the retry's result.
 
 // Envelope is one protocol message.
 type Envelope struct {
@@ -42,16 +59,44 @@ type JobResult struct {
 	Output json.RawMessage
 }
 
+// BrokerOptions configures the broker's fault-tolerance behaviour. The
+// zero value reproduces the seed semantics: requeue on disconnect only,
+// no leases, no retries.
+type BrokerOptions struct {
+	// HeartbeatTimeout revokes a worker whose last message (heartbeat or
+	// result) is older than this. 0 disables heartbeat monitoring.
+	HeartbeatTimeout time.Duration
+	// Lease bounds one assignment's execution; an expired job is revoked
+	// from its worker and retried elsewhere. 0 disables leases.
+	Lease time.Duration
+	// Retry governs re-queueing of failed or lease-expired jobs.
+	Retry RetryPolicy
+	// CheckInterval is the monitor tick (default: a quarter of the
+	// shortest enabled deadline, floor 5ms).
+	CheckInterval time.Duration
+}
+
+// assignment tracks one job handed to one worker.
+type assignment struct {
+	job      Job
+	worker   *brokerWorker
+	deadline time.Time // zero = no lease
+}
+
 // Broker is the Celery-analogue job queue: it accepts worker
 // connections and distributes submitted jobs among them.
 type Broker struct {
 	ln      net.Listener
+	opts    BrokerOptions
 	mu      sync.Mutex
 	pending []Job
-	inFly   map[string]Job // id -> job, per assignment
+	inFly   map[string]*assignment // id -> current assignment
+	started map[string]int         // id -> executions started (retry budget)
+	avoid   map[string]*brokerWorker
 	results map[string]JobResult
 	resCh   chan JobResult
 	workers map[*brokerWorker]bool
+	done    chan struct{}
 	closed  bool
 }
 
@@ -60,24 +105,39 @@ type brokerWorker struct {
 	enc      *json.Encoder
 	capacity int
 	active   map[string]Job
+	lastBeat time.Time
 	mu       sync.Mutex
 }
 
 // NewBroker starts a broker listening on addr ("127.0.0.1:0" for an
-// ephemeral port).
+// ephemeral port) with seed semantics (no heartbeats, leases, or
+// retries).
 func NewBroker(addr string) (*Broker, error) {
+	return NewBrokerWithOptions(addr, BrokerOptions{})
+}
+
+// NewBrokerWithOptions starts a broker with explicit fault-tolerance
+// configuration.
+func NewBrokerWithOptions(addr string, opts BrokerOptions) (*Broker, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tasks: broker listen: %w", err)
 	}
 	b := &Broker{
 		ln:      ln,
-		inFly:   make(map[string]Job),
+		opts:    opts,
+		inFly:   make(map[string]*assignment),
+		started: make(map[string]int),
+		avoid:   make(map[string]*brokerWorker),
 		results: make(map[string]JobResult),
 		resCh:   make(chan JobResult, 1024),
 		workers: make(map[*brokerWorker]bool),
+		done:    make(chan struct{}),
 	}
 	go b.accept()
+	if opts.HeartbeatTimeout > 0 || opts.Lease > 0 {
+		go b.monitor()
+	}
 	return b, nil
 }
 
@@ -95,18 +155,63 @@ func (b *Broker) Submit(j Job) {
 // Results returns the channel on which finished jobs are delivered.
 func (b *Broker) Results() <-chan JobResult { return b.resCh }
 
-// Close shuts the broker down.
+// Result returns the recorded result for a job, if it has one — either
+// delivered normally or failed by Close.
+func (b *Broker) Result(id string) (JobResult, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	res, ok := b.results[id]
+	return res, ok
+}
+
+// deliver publishes a result without ever blocking past Close: a
+// receiver may have gone away, and result-sending goroutines must not
+// leak waiting on a full channel.
+func (b *Broker) deliver(res JobResult) {
+	select {
+	case b.resCh <- res:
+	case <-b.done:
+	}
+}
+
+// Close shuts the broker down. Jobs still pending or assigned are
+// recorded as failed ("broker closed") so callers polling Result see a
+// terminal state, and any goroutine blocked delivering a result is
+// released rather than leaked.
 func (b *Broker) Close() {
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
 	b.closed = true
+	close(b.done)
 	ws := make([]*brokerWorker, 0, len(b.workers))
 	for w := range b.workers {
 		ws = append(ws, w)
 	}
+	for id := range b.inFly {
+		b.results[id] = JobResult{ID: id, Err: "broker closed"}
+	}
+	for _, j := range b.pending {
+		if _, ok := b.results[j.ID]; !ok {
+			b.results[j.ID] = JobResult{ID: j.ID, Err: "broker closed"}
+		}
+	}
+	b.inFly = make(map[string]*assignment)
+	b.pending = nil
 	b.mu.Unlock()
 	_ = b.ln.Close()
 	for _, w := range ws {
 		_ = w.conn.Close()
+	}
+	// Drain buffered results; everything delivered is also in b.results.
+	for {
+		select {
+		case <-b.resCh:
+		default:
+			return
+		}
 	}
 }
 
@@ -118,6 +223,128 @@ func (b *Broker) accept() {
 		}
 		go b.serve(conn)
 	}
+}
+
+// monitor enforces heartbeat and lease deadlines.
+func (b *Broker) monitor() {
+	tick := b.opts.CheckInterval
+	if tick <= 0 {
+		tick = minPositive(b.opts.HeartbeatTimeout, b.opts.Lease) / 4
+		if tick < 5*time.Millisecond {
+			tick = 5 * time.Millisecond
+		}
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-t.C:
+		}
+		b.checkHeartbeats()
+		b.checkLeases()
+	}
+}
+
+func minPositive(a, b time.Duration) time.Duration {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0, a < b:
+		return a
+	}
+	return b
+}
+
+// checkHeartbeats revokes workers that have gone silent. Closing the
+// connection routes through the same requeue path as a TCP disconnect,
+// so no job on a hung worker is lost.
+func (b *Broker) checkHeartbeats() {
+	if b.opts.HeartbeatTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	b.mu.Lock()
+	var dead []*brokerWorker
+	for w := range b.workers {
+		w.mu.Lock()
+		silent := now.Sub(w.lastBeat) > b.opts.HeartbeatTimeout
+		w.mu.Unlock()
+		if silent {
+			dead = append(dead, w)
+		}
+	}
+	b.mu.Unlock()
+	for _, w := range dead {
+		_ = w.conn.Close()
+	}
+}
+
+// checkLeases kills assignments that have outlived their lease and
+// retries them elsewhere.
+func (b *Broker) checkLeases() {
+	if b.opts.Lease <= 0 {
+		return
+	}
+	now := time.Now()
+	b.mu.Lock()
+	var expired []*assignment
+	for _, a := range b.inFly {
+		if !a.deadline.IsZero() && now.After(a.deadline) {
+			expired = append(expired, a)
+		}
+	}
+	b.mu.Unlock()
+	for _, a := range expired {
+		b.failAssignment(a, "lease expired")
+	}
+}
+
+// failAssignment revokes a job from its worker and either requeues it
+// under the retry policy (with backoff, preferring a different worker)
+// or delivers the failure.
+func (b *Broker) failAssignment(a *assignment, reason string) {
+	b.mu.Lock()
+	cur, ok := b.inFly[a.job.ID]
+	if !ok || cur != a {
+		b.mu.Unlock()
+		return // already finished or reassigned
+	}
+	delete(b.inFly, a.job.ID)
+	a.worker.mu.Lock()
+	delete(a.worker.active, a.job.ID)
+	a.worker.mu.Unlock()
+	b.avoid[a.job.ID] = a.worker
+	n := b.started[a.job.ID]
+	rp := b.opts.Retry
+	if rp.Enabled() && n < rp.MaxAttempts && rp.RetryableMessage(reason) {
+		b.mu.Unlock()
+		b.requeueAfter(a.job, rp.Backoff(n))
+		b.dispatch()
+		return
+	}
+	res := JobResult{ID: a.job.ID, Err: fmt.Sprintf("%s after %d attempts", reason, n)}
+	b.results[a.job.ID] = res
+	delete(b.avoid, a.job.ID)
+	b.mu.Unlock()
+	b.deliver(res)
+	b.dispatch()
+}
+
+// requeueAfter puts a job back on the pending queue once its backoff
+// elapses.
+func (b *Broker) requeueAfter(j Job, d time.Duration) {
+	time.AfterFunc(d, func() {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		b.pending = append(b.pending, j)
+		b.mu.Unlock()
+		b.dispatch()
+	})
 }
 
 func (b *Broker) serve(conn net.Conn) {
@@ -141,6 +368,7 @@ func (b *Broker) serve(conn net.Conn) {
 	if w.capacity < 1 {
 		w.capacity = 1
 	}
+	w.lastBeat = time.Now()
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -156,18 +384,17 @@ func (b *Broker) serve(conn net.Conn) {
 		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
 			continue
 		}
-		if env.Type == "result" {
-			w.mu.Lock()
-			delete(w.active, env.ID)
-			w.mu.Unlock()
-			b.mu.Lock()
-			delete(b.inFly, env.ID)
-			res := JobResult{ID: env.ID, Err: env.Error, Output: env.Output}
-			b.results[env.ID] = res
-			b.mu.Unlock()
-			b.resCh <- res
-			b.dispatch()
+		w.mu.Lock()
+		w.lastBeat = time.Now()
+		w.mu.Unlock()
+		if env.Type != "result" {
+			continue // heartbeat or unknown: liveness already recorded
 		}
+		w.mu.Lock()
+		delete(w.active, env.ID)
+		w.mu.Unlock()
+		b.finish(w, env)
+		b.dispatch()
 	}
 	// Worker lost: requeue its in-flight jobs.
 	w.mu.Lock()
@@ -179,43 +406,94 @@ func (b *Broker) serve(conn net.Conn) {
 	w.mu.Unlock()
 	b.mu.Lock()
 	delete(b.workers, w)
-	b.pending = append(b.pending, orphans...)
+	for _, j := range orphans {
+		// Only requeue jobs this worker still owns; a lease expiry may
+		// already have moved one elsewhere.
+		if a, ok := b.inFly[j.ID]; ok && a.worker == w {
+			delete(b.inFly, j.ID)
+			b.pending = append(b.pending, j)
+		}
+	}
 	b.mu.Unlock()
 	if len(orphans) > 0 {
 		b.dispatch()
 	}
 }
 
-// dispatch hands pending jobs to workers with free capacity.
+// finish records one worker-reported result, applying the retry policy
+// to failures and dropping results from revoked assignments.
+func (b *Broker) finish(w *brokerWorker, env Envelope) {
+	b.mu.Lock()
+	a, ok := b.inFly[env.ID]
+	if !ok || a.worker != w {
+		// Stale result: the assignment was revoked (lease expiry or
+		// heartbeat loss) and the job retried elsewhere.
+		b.mu.Unlock()
+		return
+	}
+	delete(b.inFly, env.ID)
+	if env.Error != "" {
+		n := b.started[env.ID]
+		rp := b.opts.Retry
+		if rp.Enabled() && n < rp.MaxAttempts && rp.RetryableMessage(env.Error) {
+			b.avoid[env.ID] = w
+			b.mu.Unlock()
+			b.requeueAfter(a.job, rp.Backoff(n))
+			return
+		}
+	}
+	delete(b.avoid, env.ID)
+	res := JobResult{ID: env.ID, Err: env.Error, Output: env.Output}
+	b.results[env.ID] = res
+	b.mu.Unlock()
+	b.deliver(res)
+}
+
+// dispatch hands pending jobs to workers with free capacity, preferring
+// a worker other than the one a job last failed on.
 func (b *Broker) dispatch() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for len(b.pending) > 0 {
-		var target *brokerWorker
+		j := b.pending[0]
+		var target, fallback *brokerWorker
 		for w := range b.workers {
 			w.mu.Lock()
 			free := len(w.active) < w.capacity
 			w.mu.Unlock()
-			if free {
-				target = w
-				break
+			if !free {
+				continue
 			}
+			if b.avoid[j.ID] == w {
+				fallback = w
+				continue
+			}
+			target = w
+			break
+		}
+		if target == nil {
+			target = fallback
 		}
 		if target == nil {
 			return
 		}
-		j := b.pending[0]
 		b.pending = b.pending[1:]
 		target.mu.Lock()
 		target.active[j.ID] = j
 		target.mu.Unlock()
-		b.inFly[j.ID] = j
+		a := &assignment{job: j, worker: target}
+		if b.opts.Lease > 0 {
+			a.deadline = time.Now().Add(b.opts.Lease)
+		}
+		b.inFly[j.ID] = a
+		b.started[j.ID]++
 		if err := target.enc.Encode(Envelope{Type: "task", ID: j.ID, Kind: j.Kind, Payload: j.Payload}); err != nil {
 			// The serve loop will notice the dead connection and requeue.
 			target.mu.Lock()
 			delete(target.active, j.ID)
 			target.mu.Unlock()
 			delete(b.inFly, j.ID)
+			b.started[j.ID]-- // the attempt never reached the worker
 			b.pending = append(b.pending, j)
 			return
 		}
@@ -229,6 +507,27 @@ func (b *Broker) PendingCount() int {
 	return len(b.pending)
 }
 
+// Executions reports how many assignments a job has consumed so far,
+// for tests and reporting.
+func (b *Broker) Executions(id string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.started[id]
+}
+
+// WorkerOptions configures a Worker beyond address and handler table.
+type WorkerOptions struct {
+	Capacity int
+	Handlers map[string]JobHandler
+	// HeartbeatInterval between {"type":"heartbeat"} messages. 0 means
+	// the 500ms default; negative disables heartbeats.
+	HeartbeatInterval time.Duration
+	// Injector is consulted at "worker.handle" before each job and at
+	// "worker.heartbeat" before each beat — the fault-injection hook for
+	// wedged and crashing workers.
+	Injector *faultinject.Injector
+}
+
 // Worker connects to a broker, executes jobs with registered handlers,
 // and reports results.
 type Worker struct {
@@ -237,6 +536,10 @@ type Worker struct {
 	encMu    sync.Mutex
 	handlers map[string]JobHandler
 	capacity int
+	inject   *faultinject.Injector
+	stop     chan struct{}
+	mu       sync.Mutex // guards closing vs. spawning new jobs
+	closing  bool
 	wg       sync.WaitGroup
 }
 
@@ -247,22 +550,64 @@ type JobHandler func(payload json.RawMessage) (output any, err error)
 // NewWorker connects to the broker at addr with the given parallel
 // capacity and handler table.
 func NewWorker(addr string, capacity int, handlers map[string]JobHandler) (*Worker, error) {
+	return NewWorkerWithOptions(addr, WorkerOptions{Capacity: capacity, Handlers: handlers})
+}
+
+// NewWorkerWithOptions connects a worker with explicit options.
+func NewWorkerWithOptions(addr string, opts WorkerOptions) (*Worker, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tasks: worker dial: %w", err)
 	}
+	capacity := opts.Capacity
+	if capacity < 1 {
+		capacity = 1
+	}
 	w := &Worker{
 		conn:     conn,
 		enc:      json.NewEncoder(conn),
-		handlers: handlers,
+		handlers: opts.Handlers,
 		capacity: capacity,
+		inject:   opts.Injector,
+		stop:     make(chan struct{}),
 	}
 	if err := w.enc.Encode(Envelope{Type: "hello", Capacity: capacity}); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
 	go w.loop()
+	interval := opts.HeartbeatInterval
+	if interval == 0 {
+		interval = 500 * time.Millisecond
+	}
+	if interval > 0 {
+		go w.heartbeat(interval)
+	}
 	return w, nil
+}
+
+// heartbeat periodically tells the broker this worker is alive. A
+// wedged worker (simulated by a Hang fault at "worker.heartbeat") stops
+// beating and is revoked even though its TCP connection stays open.
+func (w *Worker) heartbeat(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		}
+		if err := w.inject.Hit("worker.heartbeat"); err != nil {
+			continue
+		}
+		w.encMu.Lock()
+		err := w.enc.Encode(Envelope{Type: "heartbeat"})
+		w.encMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
 }
 
 func (w *Worker) loop() {
@@ -273,27 +618,60 @@ func (w *Worker) loop() {
 		if err := json.Unmarshal(sc.Bytes(), &env); err != nil || env.Type != "task" {
 			continue
 		}
+		// Guard the Add against a concurrent Close's Wait: once closing,
+		// no new job may start.
+		w.mu.Lock()
+		if w.closing {
+			w.mu.Unlock()
+			continue
+		}
 		w.wg.Add(1)
-		go func() {
-			defer w.wg.Done()
-			res := Envelope{Type: "result", ID: env.ID}
-			h, ok := w.handlers[env.Kind]
-			if !ok {
-				res.Error = fmt.Sprintf("no handler for kind %q", env.Kind)
-			} else if out, err := safeHandle(h, env.Payload); err != nil {
-				res.Error = err.Error()
-			} else if out != nil {
-				if raw, merr := json.Marshal(out); merr == nil {
-					res.Output = raw
-				} else {
-					res.Error = "marshal output: " + merr.Error()
-				}
-			}
-			w.encMu.Lock()
-			_ = w.enc.Encode(res)
-			w.encMu.Unlock()
-		}()
+		w.mu.Unlock()
+		go w.runJob(env)
 	}
+}
+
+// runJob executes one assignment. An injected Crash fault simulates the
+// worker process dying mid-run: the connection drops and no result is
+// ever sent.
+func (w *Worker) runJob(env Envelope) {
+	defer w.wg.Done()
+	res := Envelope{Type: "result", ID: env.ID}
+	crashed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(faultinject.CrashPanic); ok {
+					crashed = true
+					_ = w.conn.Close()
+					return
+				}
+				panic(r)
+			}
+		}()
+		if ferr := w.inject.Hit("worker.handle"); ferr != nil {
+			res.Error = ferr.Error()
+			return
+		}
+		h, ok := w.handlers[env.Kind]
+		if !ok {
+			res.Error = fmt.Sprintf("no handler for kind %q", env.Kind)
+		} else if out, err := safeHandle(h, env.Payload); err != nil {
+			res.Error = err.Error()
+		} else if out != nil {
+			if raw, merr := json.Marshal(out); merr == nil {
+				res.Output = raw
+			} else {
+				res.Error = "marshal output: " + merr.Error()
+			}
+		}
+	}()
+	if crashed {
+		return
+	}
+	w.encMu.Lock()
+	_ = w.enc.Encode(res)
+	w.encMu.Unlock()
 }
 
 func safeHandle(h JobHandler, payload json.RawMessage) (out any, err error) {
@@ -307,6 +685,10 @@ func safeHandle(h JobHandler, payload json.RawMessage) (out any, err error) {
 
 // Close disconnects the worker after in-flight jobs finish.
 func (w *Worker) Close() {
+	w.mu.Lock()
+	w.closing = true
+	w.mu.Unlock()
+	close(w.stop)
 	w.wg.Wait()
 	_ = w.conn.Close()
 }

@@ -16,6 +16,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
+
+	"gem5art/internal/faultinject"
 )
 
 // Task is one unit of work — typically a *run.Run wrapped by RunTask.
@@ -38,13 +41,19 @@ func (t TaskFunc) Execute(ctx context.Context) error { return t.Fn(ctx) }
 
 // Future is the handle returned by ApplyAsync.
 type Future struct {
-	id   string
-	done chan struct{}
-	err  error
+	id       string
+	done     chan struct{}
+	err      error
+	attempts int
 }
 
 // ID returns the task's identifier.
 func (f *Future) ID() string { return f.id }
+
+// Attempts reports how many times the task was executed, valid once the
+// future is done. 1 means it succeeded (or failed permanently) on the
+// first try; larger values mean the retry policy kicked in.
+func (f *Future) Attempts() int { return f.attempts }
 
 // Wait blocks until the task finishes (or ctx is cancelled) and returns
 // the task's error.
@@ -76,6 +85,8 @@ type Pool struct {
 	closed  bool
 	wg      sync.WaitGroup
 	cancel  context.CancelFunc
+	retry   RetryPolicy
+	inject  *faultinject.Injector
 }
 
 type queued struct {
@@ -118,6 +129,24 @@ func (p *Pool) ApplyAsync(t Task) (*Future, error) {
 	return fut, nil
 }
 
+// SetRetryPolicy makes the pool re-execute tasks whose errors the
+// policy classifies as retryable, with backoff between attempts. It
+// applies to tasks executed after the call.
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
+	p.mu.Lock()
+	p.retry = rp
+	p.mu.Unlock()
+}
+
+// SetInjector arms a fault injector consulted before each task
+// execution (site "pool.execute") — the test hook for crash, hang, and
+// transient-error recovery.
+func (p *Pool) SetInjector(in *faultinject.Injector) {
+	p.mu.Lock()
+	p.inject = in
+	p.mu.Unlock()
+}
+
 func (p *Pool) next() *queued {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -141,15 +170,7 @@ func (p *Pool) worker(ctx context.Context) {
 				continue
 			}
 		}
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					q.fut.err = fmt.Errorf("tasks: %s panicked: %v", q.task.ID(), r)
-				}
-				close(q.fut.done)
-			}()
-			q.fut.err = q.task.Execute(ctx)
-		}()
+		p.execute(ctx, q)
 		// Re-arm the notify channel in case more tasks queued while we
 		// were busy.
 		select {
@@ -157,6 +178,45 @@ func (p *Pool) worker(ctx context.Context) {
 		default:
 		}
 	}
+}
+
+// execute runs one task to completion under the pool's retry policy.
+func (p *Pool) execute(ctx context.Context, q *queued) {
+	p.mu.Lock()
+	rp := p.retry
+	inject := p.inject
+	p.mu.Unlock()
+	attempts := 0
+	var err error
+	for {
+		attempts++
+		err = p.runOnce(ctx, q.task, inject)
+		if err == nil || !rp.Enabled() || attempts >= rp.MaxAttempts ||
+			!rp.Retryable(err) || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-time.After(rp.Backoff(attempts)):
+		case <-ctx.Done():
+		}
+	}
+	q.fut.err = err
+	q.fut.attempts = attempts
+	close(q.fut.done)
+}
+
+// runOnce performs a single attempt, converting panics (a crashed
+// simulation) into errors the retry policy can classify.
+func (p *Pool) runOnce(ctx context.Context, t Task, inject *faultinject.Injector) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("tasks: %s panicked: %v", t.ID(), r)
+		}
+	}()
+	if ferr := inject.Hit("pool.execute"); ferr != nil {
+		return ferr
+	}
+	return t.Execute(ctx)
 }
 
 // WaitAll blocks until every task submitted so far has finished,

@@ -1,0 +1,198 @@
+// Package faultinject provides a deterministic, seed-driven fault
+// injector for exercising the framework's recovery paths under test.
+// Production code consults the injector at named sites (e.g.
+// "pool.execute", "worker.handle", "run.hackback.phase2"); a nil
+// injector never fires, so the hooks cost one nil check when fault
+// injection is off.
+//
+// Faults model the failure modes the paper's Celery deployment had to
+// survive: a crashed gem5 process (Crash), a wedged worker that holds
+// its connection open but never finishes (Hang), a flaky run that
+// succeeds on retry (Transient), and a slow network link (SlowNet).
+// Given the same seed and the same sequence of Hit calls, an injector
+// fires exactly the same faults, so recovery tests are reproducible.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable failure modes.
+type Kind string
+
+// Fault kinds.
+const (
+	Crash     Kind = "crash"        // panic with a CrashPanic at the site
+	Hang      Kind = "hang"         // block until Delay elapses or Release is called
+	Transient Kind = "transient"    // return a retryable *TransientError
+	SlowNet   Kind = "slow-network" // sleep Delay, then proceed normally
+)
+
+// Rule arms one fault at a named site.
+type Rule struct {
+	Site  string        // injection point name
+	Kind  Kind          // what happens when the rule fires
+	After int           // skip this many hits of the site before arming
+	Count int           // fire at most this many times (0 means once)
+	P     float64       // per-hit firing probability once armed (0 means always)
+	Delay time.Duration // Hang: max block (0 blocks until Release); SlowNet: sleep
+}
+
+// Event records one fired fault, for test assertions.
+type Event struct {
+	Site string
+	Kind Kind
+	Hit  int // which hit of the site fired (1-based)
+}
+
+// CrashPanic is the value a Crash fault passes to panic. Recovery
+// layers (the pool's recover, the worker's crash simulation) match on
+// this type to distinguish injected crashes from real bugs.
+type CrashPanic struct{ Site string }
+
+// String renders the panic value.
+func (c CrashPanic) String() string { return "faultinject: crash at " + c.Site }
+
+// TransientError is the retryable error a Transient fault returns. It
+// satisfies the Transient() classification used by tasks.RetryPolicy.
+type TransientError struct {
+	Site string
+	Hit  int
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: transient fault at %s (hit %d)", e.Site, e.Hit)
+}
+
+// Transient marks the error as safe to retry.
+func (e *TransientError) Transient() bool { return true }
+
+// Injector decides, deterministically, which Hit calls fault.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []*armedRule
+	hits    map[string]int
+	events  []Event
+	release chan struct{}
+}
+
+type armedRule struct {
+	Rule
+	fired int
+}
+
+// New builds an injector. The seed drives probabilistic rules (P > 0);
+// the same seed and call sequence reproduce the same faults.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		rng:     rand.New(rand.NewSource(seed)),
+		hits:    map[string]int{},
+		release: make(chan struct{}),
+	}
+	for _, r := range rules {
+		in.rules = append(in.rules, &armedRule{Rule: r})
+	}
+	return in
+}
+
+// Hit consults the injector at a named site. A nil injector never
+// faults. Depending on the matched rule, Hit panics (Crash), blocks
+// (Hang), sleeps (SlowNet), or returns a retryable error (Transient);
+// with no matching rule it returns nil immediately.
+func (in *Injector) Hit(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.hits[site]++
+	hit := in.hits[site]
+	var fire *armedRule
+	for _, r := range in.rules {
+		if r.Site != site || hit <= r.After {
+			continue
+		}
+		limit := r.Count
+		if limit == 0 {
+			limit = 1
+		}
+		if r.fired >= limit {
+			continue
+		}
+		if r.P > 0 && in.rng.Float64() >= r.P {
+			continue
+		}
+		r.fired++
+		fire = r
+		break
+	}
+	if fire == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	in.events = append(in.events, Event{Site: site, Kind: fire.Kind, Hit: hit})
+	delay := fire.Delay
+	release := in.release
+	in.mu.Unlock()
+
+	switch fire.Kind {
+	case Crash:
+		panic(CrashPanic{Site: site})
+	case Hang:
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-release:
+			}
+		} else {
+			<-release
+		}
+	case Transient:
+		return &TransientError{Site: site, Hit: hit}
+	case SlowNet:
+		if delay <= 0 {
+			delay = 10 * time.Millisecond
+		}
+		time.Sleep(delay)
+	}
+	return nil
+}
+
+// Release unblocks every current and future Hang fault. Tests call it
+// in cleanup so wedged goroutines can exit.
+func (in *Injector) Release() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	select {
+	case <-in.release:
+	default:
+		close(in.release)
+	}
+	in.mu.Unlock()
+}
+
+// Events returns a copy of the faults fired so far, in firing order.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Hits reports how many times a site has been consulted.
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}

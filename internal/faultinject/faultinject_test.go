@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFaults(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("anything"); err != nil {
+		t.Fatalf("nil injector faulted: %v", err)
+	}
+	in.Release()
+	if in.Hits("anything") != 0 || in.Events() != nil {
+		t.Fatal("nil injector has state")
+	}
+}
+
+func TestTransientFiresOnceByDefault(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Transient})
+	err := in.Hit("s")
+	var te *TransientError
+	if !errors.As(err, &te) || !te.Transient() {
+		t.Fatalf("first hit: %v", err)
+	}
+	if err := in.Hit("s"); err != nil {
+		t.Fatalf("rule fired twice: %v", err)
+	}
+	if len(in.Events()) != 1 || in.Hits("s") != 2 {
+		t.Fatalf("events=%v hits=%d", in.Events(), in.Hits("s"))
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Transient, After: 1, Count: 2})
+	var faults int
+	for i := 0; i < 5; i++ {
+		if in.Hit("s") != nil {
+			faults++
+		}
+	}
+	if faults != 2 {
+		t.Fatalf("fired %d times, want 2 (hits 2 and 3)", faults)
+	}
+	ev := in.Events()
+	if ev[0].Hit != 2 || ev[1].Hit != 3 {
+		t.Fatalf("fired on hits %d,%d", ev[0].Hit, ev[1].Hit)
+	}
+}
+
+func TestCrashPanics(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Crash})
+	defer func() {
+		r := recover()
+		if _, ok := r.(CrashPanic); !ok {
+			t.Fatalf("recovered %v, want CrashPanic", r)
+		}
+	}()
+	_ = in.Hit("s")
+	t.Fatal("crash did not panic")
+}
+
+func TestHangBlocksUntilRelease(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Hang})
+	done := make(chan struct{})
+	go func() {
+		_ = in.Hit("s")
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("hang did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	in.Release()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Release did not unblock the hang")
+	}
+	// Release is idempotent and future hangs pass straight through.
+	in.Release()
+}
+
+func TestHangWithDelayExpires(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: Hang, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Hit("s"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("bounded hang returned early")
+	}
+}
+
+func TestSlowNetSleeps(t *testing.T) {
+	in := New(1, Rule{Site: "s", Kind: SlowNet, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Hit("s"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("slow-network fault did not delay")
+	}
+}
+
+// TestSeedDeterminism is the harness's core promise: the same seed and
+// call sequence fire the same faults.
+func TestSeedDeterminism(t *testing.T) {
+	script := func(seed int64) []Event {
+		in := New(seed,
+			Rule{Site: "a", Kind: Transient, Count: 100, P: 0.5},
+			Rule{Site: "b", Kind: Transient, Count: 100, P: 0.3})
+		for i := 0; i < 50; i++ {
+			_ = in.Hit("a")
+			_ = in.Hit("b")
+		}
+		return in.Events()
+	}
+	first, second := script(42), script(42)
+	if len(first) == 0 {
+		t.Fatal("probabilistic rules never fired in 100 hits")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("runs differ: %d vs %d events", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, first[i], second[i])
+		}
+	}
+	other := script(7)
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
