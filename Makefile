@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race ci
+.PHONY: build vet test race bench ci
 
 build:
 	$(GO) build ./...
@@ -13,5 +13,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench measures the telemetry overhead of the simulation event loop
+# (instrumented vs uninstrumented) and writes BENCH_telemetry.json.
+# Exits non-zero if the overhead exceeds the 5% budget.
+bench:
+	$(GO) run ./cmd/gem5bench -out BENCH_telemetry.json
 
 ci: build vet race

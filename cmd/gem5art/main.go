@@ -26,6 +26,8 @@ import (
 	"gem5art/internal/database"
 	"gem5art/internal/experiments"
 	"gem5art/internal/sim/kernel"
+	"gem5art/internal/statusd"
+	"gem5art/internal/telemetry"
 )
 
 func main() {
@@ -82,6 +84,8 @@ func useCase(args []string, fn func(caseOpts) error) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel simulations")
 	quick := fs.Bool("quick", false, "run a reduced sweep")
 	retries := fs.Int("retries", 1, "attempts per run (>1 retries transient failures with backoff)")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve the status/metrics daemon on this address while the sweep runs (e.g. 127.0.0.1:7788)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +94,13 @@ func useCase(args []string, fn func(caseOpts) error) error {
 		return err
 	}
 	defer env.DB().Close()
+	if *metricsAddr != "" {
+		bound, _, err := statusd.ListenAndServe(*metricsAddr, statusd.New(env.DB()))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status daemon on http://%s (/metrics, /api/runs, /api/events)\n", bound)
+	}
 	if *retries > 1 {
 		rp := tasks.DefaultRetryPolicy()
 		rp.MaxAttempts = *retries
@@ -99,9 +110,29 @@ func useCase(args []string, fn func(caseOpts) error) error {
 	if err := fn(caseOpts{env: env, workers: *workers, quick: *quick}); err != nil {
 		return err
 	}
-	fmt.Printf("\ncompleted in %v; %s\n", time.Since(start).Round(time.Millisecond),
-		launch.Summarize(env.DB()))
+	fmt.Printf("\ncompleted in %v; %s%s\n", time.Since(start).Round(time.Millisecond),
+		launch.Summarize(env.DB()), telemetryTotals())
 	return nil
+}
+
+// telemetryTotals renders the process-wide retry/revocation counters for
+// the end-of-sweep line, so fault-tolerance activity is visible without
+// scraping /metrics. Empty when nothing fired.
+func telemetryTotals() string {
+	snap := telemetry.Default.Snapshot()
+	out := ""
+	for _, c := range []struct{ name, label string }{
+		{"gem5art_tasks_retries_total", "pool_retries"},
+		{"gem5art_broker_retries_total", "broker_retries"},
+		{"gem5art_broker_lease_revocations_total", "lease_revocations"},
+		{"gem5art_broker_worker_revocations_total", "worker_revocations"},
+		{"gem5art_run_stale_attempts_total", "stale_attempts"},
+	} {
+		if v := snap[c.name]; v > 0 {
+			out += fmt.Sprintf(" %s=%g", c.label, v)
+		}
+	}
+	return out
 }
 
 func runParsec(o caseOpts) error {
@@ -214,6 +245,8 @@ func artifactsCmd(args []string) error {
 func distributeCmd(args []string) error {
 	fs := flag.NewFlagSet("distribute", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7733", "broker listen address")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve the status/metrics daemon on this address (exposes broker lease state at /api/broker)")
 	minWorkers := fs.Int("min-workers", 1, "wait for this many workers")
 	retries := fs.Int("retries", 3, "attempts per job (1 disables retries)")
 	lease := fs.Duration("lease", 30*time.Minute, "per-assignment execution lease (0 disables)")
@@ -233,6 +266,15 @@ func distributeCmd(args []string) error {
 		return err
 	}
 	defer broker.Close()
+	if *metricsAddr != "" {
+		sd := statusd.New(nil)
+		sd.Broker = broker
+		bound, _, err := statusd.ListenAndServe(*metricsAddr, sd)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("status daemon on http://%s (/metrics, /api/broker, /api/events)\n", bound)
+	}
 	fmt.Printf("broker listening on %s; start gem5worker -broker %s\n", broker.Addr(), broker.Addr())
 	_ = *minWorkers // workers may attach at any time; jobs queue until they do
 
@@ -260,6 +302,6 @@ func distributeCmd(args []string) error {
 		_ = json.Unmarshal(r.Output, &out)
 		counts[out.Outcome]++
 	}
-	fmt.Printf("distributed %d boot jobs; outcomes: %v\n", len(cells), counts)
+	fmt.Printf("distributed %d boot jobs; outcomes: %v%s\n", len(cells), counts, telemetryTotals())
 	return nil
 }

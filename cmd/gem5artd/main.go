@@ -1,0 +1,42 @@
+// Command gem5artd serves the gem5art status/metrics daemon standalone:
+// Prometheus metrics at /metrics, run status from an experiment database
+// at /api/runs, and a live SSE stream of run-lifecycle events at
+// /api/events. Point it at the same -db directory a sweep writes to.
+//
+// Usage:
+//
+//	gem5artd [-addr HOST:PORT] [-db DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5art/internal/database"
+	"gem5art/internal/statusd"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7788", "HTTP listen address (use :0 for a random port)")
+	dbDir := flag.String("db", "", "experiment database directory (default: in-memory, empty)")
+	flag.Parse()
+
+	db, err := database.Open(*dbDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5artd:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	bound, errc, err := statusd.ListenAndServe(*addr, statusd.New(db))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5artd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gem5artd listening on http://%s (metrics: /metrics, runs: /api/runs, events: /api/events)\n", bound)
+	if err := <-errc; err != nil {
+		fmt.Fprintln(os.Stderr, "gem5artd:", err)
+		os.Exit(1)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"gem5art/internal/sim/cpu"
 	"gem5art/internal/sim/gpu"
 	"gem5art/internal/sim/kernel"
+	"gem5art/internal/statusd"
 	"gem5art/internal/workloads"
 )
 
@@ -29,7 +30,18 @@ func main() {
 	capacity := flag.Int("capacity", runtime.NumCPU(), "parallel jobs")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond,
 		"interval between liveness heartbeats (negative disables)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics and /healthz on this address (e.g. 127.0.0.1:7789)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		bound, _, err := statusd.ListenAndServe(*metricsAddr, statusd.New(nil))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gem5worker:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gem5worker: metrics on http://%s\n", bound)
+	}
 
 	w, err := tasks.NewWorkerWithOptions(*broker, tasks.WorkerOptions{
 		Capacity: *capacity,

@@ -138,6 +138,7 @@ type Summary struct {
 	Total     int
 	ByStatus  map[string]int
 	ByOutcome map[string]int
+	Attempts  int // total executions across all runs (>= Total when retries fired)
 	Retried   int
 	Resumed   int
 }
@@ -153,8 +154,11 @@ func Summarize(db *database.DB) Summary {
 		if oc, ok := d["outcome"].(string); ok && oc != "" {
 			s.ByOutcome[oc]++
 		}
-		if atts, ok := d["attempts"].([]any); ok && len(atts) > 1 {
-			s.Retried++
+		if atts, ok := d["attempts"].([]any); ok {
+			s.Attempts += len(atts)
+			if len(atts) > 1 {
+				s.Retried++
+			}
 		}
 		if rf, ok := d["resumed_from"].(string); ok && rf != "" {
 			s.Resumed++
@@ -167,7 +171,7 @@ func Summarize(db *database.DB) Summary {
 func (s Summary) String() string {
 	out := fmt.Sprintf("%d runs; status=%v outcome=%v", s.Total, s.ByStatus, s.ByOutcome)
 	if s.Retried > 0 {
-		out += fmt.Sprintf(" retried=%d", s.Retried)
+		out += fmt.Sprintf(" retried=%d attempts=%d", s.Retried, s.Attempts)
 	}
 	if s.Resumed > 0 {
 		out += fmt.Sprintf(" resumed=%d", s.Resumed)

@@ -8,6 +8,7 @@ package run
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"gem5art/internal/database"
 	"gem5art/internal/faultinject"
 	"gem5art/internal/sim/cpu"
+	"gem5art/internal/telemetry"
 )
 
 // Collection is the database collection run documents live in.
@@ -100,6 +102,34 @@ type Run struct {
 // DefaultTimeout matches createFSRun's 15-minute default.
 const DefaultTimeout = 15 * time.Minute
 
+// Run-lifecycle telemetry: every legal status transition is counted by
+// target state, and published on the process event bus so the status
+// daemon's /api/events stream shows sweeps progressing live.
+var (
+	runTransitions = telemetry.Default.CounterVec("gem5art_run_transitions_total",
+		"run status transitions by target state", "to")
+	runsCreated = telemetry.Default.Counter("gem5art_runs_created_total",
+		"run objects created and recorded in the database")
+	staleAttempts = telemetry.Default.Counter("gem5art_run_stale_attempts_total",
+		"attempts whose outcome was discarded because a newer attempt superseded them")
+)
+
+// publish counts a transition and emits a run-lifecycle event. Callers
+// must not hold r.mu (field reads here take it).
+func (r *Run) publish(to Status, attempt int, stale bool) {
+	runTransitions.With(string(to)).Inc()
+	fields := map[string]string{
+		"id":      r.ID,
+		"name":    r.Spec.Name,
+		"status":  string(to),
+		"attempt": strconv.Itoa(attempt),
+	}
+	if stale {
+		fields["stale"] = "true"
+	}
+	telemetry.Bus.Publish("run", fields)
+}
+
 // CreateFSRun validates the spec and creates a queued full-system run,
 // recording it in the database.
 func CreateFSRun(reg *artifact.Registry, spec FSSpec) (*Run, error) {
@@ -134,6 +164,8 @@ func CreateFSRun(reg *artifact.Registry, spec FSSpec) (*Run, error) {
 	if _, err := reg.DB().Collection(Collection).InsertOne(r.doc()); err != nil {
 		return nil, fmt.Errorf("run: %s: %w", spec.Name, err)
 	}
+	runsCreated.Inc()
+	r.publish(Queued, 0, false)
 	return r, nil
 }
 
@@ -199,6 +231,7 @@ func (r *Run) Execute(ctx context.Context) error {
 	})
 	idx := len(r.Attempts) - 1
 	r.mu.Unlock()
+	r.publish(Running, idx+1, false)
 	r.update()
 
 	ctx, cancel := context.WithTimeout(ctx, r.Spec.Timeout)
@@ -248,6 +281,8 @@ func (r *Run) finishAttempt(idx int, status Status, res *Results, aerr error) {
 	// this one and this one did not succeed.
 	if r.Status == Done || (idx != len(r.Attempts)-1 && status != Done) {
 		r.mu.Unlock()
+		staleAttempts.Inc()
+		r.publish(status, idx+1, true)
 		r.update()
 		return
 	}
@@ -260,6 +295,7 @@ func (r *Run) finishAttempt(idx int, status Status, res *Results, aerr error) {
 		r.archiveLocked()
 	}
 	r.mu.Unlock()
+	r.publish(status, idx+1, false)
 	r.update()
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -149,6 +150,7 @@ func (b *Broker) Submit(j Job) {
 	b.mu.Lock()
 	b.pending = append(b.pending, j)
 	b.mu.Unlock()
+	brokerQueueDepth.Inc()
 	b.dispatch()
 }
 
@@ -168,6 +170,11 @@ func (b *Broker) Result(id string) (JobResult, bool) {
 // receiver may have gone away, and result-sending goroutines must not
 // leak waiting on a full channel.
 func (b *Broker) deliver(res JobResult) {
+	if res.Err == "" {
+		brokerJobs.With("ok").Inc()
+	} else {
+		brokerJobs.With("error").Inc()
+	}
 	select {
 	case b.resCh <- res:
 	case <-b.done:
@@ -199,6 +206,7 @@ func (b *Broker) Close() {
 		}
 	}
 	b.inFly = make(map[string]*assignment)
+	brokerQueueDepth.Add(-float64(len(b.pending)))
 	b.pending = nil
 	b.mu.Unlock()
 	_ = b.ln.Close()
@@ -277,6 +285,7 @@ func (b *Broker) checkHeartbeats() {
 	}
 	b.mu.Unlock()
 	for _, w := range dead {
+		brokerWorkerRevocations.Inc()
 		_ = w.conn.Close()
 	}
 }
@@ -315,6 +324,9 @@ func (b *Broker) failAssignment(a *assignment, reason string) {
 	a.worker.mu.Lock()
 	delete(a.worker.active, a.job.ID)
 	a.worker.mu.Unlock()
+	if reason == "lease expired" {
+		brokerLeaseRevocations.Inc()
+	}
 	b.avoid[a.job.ID] = a.worker
 	n := b.started[a.job.ID]
 	rp := b.opts.Retry
@@ -333,8 +345,10 @@ func (b *Broker) failAssignment(a *assignment, reason string) {
 }
 
 // requeueAfter puts a job back on the pending queue once its backoff
-// elapses.
+// elapses. It is only reached from the retry paths, so it also counts
+// the retry.
 func (b *Broker) requeueAfter(j Job, d time.Duration) {
+	brokerRetries.Inc()
 	time.AfterFunc(d, func() {
 		b.mu.Lock()
 		if b.closed {
@@ -343,6 +357,7 @@ func (b *Broker) requeueAfter(j Job, d time.Duration) {
 		}
 		b.pending = append(b.pending, j)
 		b.mu.Unlock()
+		brokerQueueDepth.Inc()
 		b.dispatch()
 	})
 }
@@ -387,6 +402,9 @@ func (b *Broker) serve(conn net.Conn) {
 		w.mu.Lock()
 		w.lastBeat = time.Now()
 		w.mu.Unlock()
+		if env.Type == "heartbeat" {
+			brokerHeartbeats.Inc()
+		}
 		if env.Type != "result" {
 			continue // heartbeat or unknown: liveness already recorded
 		}
@@ -406,15 +424,18 @@ func (b *Broker) serve(conn net.Conn) {
 	w.mu.Unlock()
 	b.mu.Lock()
 	delete(b.workers, w)
+	requeued := 0
 	for _, j := range orphans {
 		// Only requeue jobs this worker still owns; a lease expiry may
 		// already have moved one elsewhere.
 		if a, ok := b.inFly[j.ID]; ok && a.worker == w {
 			delete(b.inFly, j.ID)
 			b.pending = append(b.pending, j)
+			requeued++
 		}
 	}
 	b.mu.Unlock()
+	brokerQueueDepth.Add(float64(requeued))
 	if len(orphans) > 0 {
 		b.dispatch()
 	}
@@ -478,6 +499,7 @@ func (b *Broker) dispatch() {
 			return
 		}
 		b.pending = b.pending[1:]
+		brokerQueueDepth.Dec()
 		target.mu.Lock()
 		target.active[j.ID] = j
 		target.mu.Unlock()
@@ -495,6 +517,7 @@ func (b *Broker) dispatch() {
 			delete(b.inFly, j.ID)
 			b.started[j.ID]-- // the attempt never reached the worker
 			b.pending = append(b.pending, j)
+			brokerQueueDepth.Inc()
 			return
 		}
 	}
@@ -505,6 +528,48 @@ func (b *Broker) PendingCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.pending)
+}
+
+// AssignmentState describes one in-flight assignment for the status
+// daemon's broker API.
+type AssignmentState struct {
+	JobID         string    `json:"job_id"`
+	Kind          string    `json:"kind"`
+	Worker        string    `json:"worker"`
+	LeaseDeadline time.Time `json:"lease_deadline,omitempty"`
+	Executions    int       `json:"executions"`
+}
+
+// BrokerState is a point-in-time snapshot of the broker's queue, its
+// connected workers, and every in-flight assignment with its lease
+// deadline — the live state /api/broker serves.
+type BrokerState struct {
+	Pending  int               `json:"pending"`
+	Workers  int               `json:"workers"`
+	InFlight []AssignmentState `json:"in_flight"`
+	Results  int               `json:"results"`
+}
+
+// State captures the broker's current queue and lease state.
+func (b *Broker) State() BrokerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BrokerState{
+		Pending: len(b.pending),
+		Workers: len(b.workers),
+		Results: len(b.results),
+	}
+	for _, a := range b.inFly {
+		st.InFlight = append(st.InFlight, AssignmentState{
+			JobID:         a.job.ID,
+			Kind:          a.job.Kind,
+			Worker:        a.worker.conn.RemoteAddr().String(),
+			LeaseDeadline: a.deadline,
+			Executions:    b.started[a.job.ID],
+		})
+	}
+	sort.Slice(st.InFlight, func(i, j int) bool { return st.InFlight[i].JobID < st.InFlight[j].JobID })
+	return st
 }
 
 // Executions reports how many assignments a job has consumed so far,

@@ -122,6 +122,7 @@ func (p *Pool) ApplyAsync(t Task) (*Future, error) {
 	p.queue = append(p.queue, &queued{task: t, fut: fut})
 	p.futures = append(p.futures, fut)
 	p.mu.Unlock()
+	poolQueueDepth.Inc()
 	select {
 	case p.notify <- struct{}{}:
 	default:
@@ -155,6 +156,7 @@ func (p *Pool) next() *queued {
 	}
 	q := p.queue[0]
 	p.queue = p.queue[1:]
+	poolQueueDepth.Dec()
 	return q
 }
 
@@ -186,6 +188,8 @@ func (p *Pool) execute(ctx context.Context, q *queued) {
 	rp := p.retry
 	inject := p.inject
 	p.mu.Unlock()
+	poolActiveJobs.Inc()
+	start := time.Now()
 	attempts := 0
 	var err error
 	for {
@@ -195,11 +199,14 @@ func (p *Pool) execute(ctx context.Context, q *queued) {
 			!rp.Retryable(err) || ctx.Err() != nil {
 			break
 		}
+		poolRetries.Inc()
 		select {
 		case <-time.After(rp.Backoff(attempts)):
 		case <-ctx.Done():
 		}
 	}
+	poolJobDuration.Observe(time.Since(start).Seconds())
+	poolActiveJobs.Dec()
 	q.fut.err = err
 	q.fut.attempts = attempts
 	close(q.fut.done)

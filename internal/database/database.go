@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Doc is a single document: a JSON-like map from field names to values.
@@ -126,6 +127,7 @@ func (c *Collection) CreateUniqueIndex(keys ...string) {
 // the id. The document is shallow-copied so later caller mutations do not
 // corrupt the store.
 func (c *Collection) InsertOne(d Doc) (string, error) {
+	defer observeOp("insert", time.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cp := copyDoc(d)
@@ -157,6 +159,7 @@ func (c *Collection) InsertMany(ds []Doc) error {
 // Find returns copies of all documents matching filter, in insertion order.
 // A nil or empty filter matches every document.
 func (c *Collection) Find(filter Doc) []Doc {
+	defer observeOp("find", time.Now())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []Doc
@@ -170,6 +173,7 @@ func (c *Collection) Find(filter Doc) []Doc {
 
 // FindOne returns the first matching document, or nil if none matches.
 func (c *Collection) FindOne(filter Doc) Doc {
+	defer observeOp("find_one", time.Now())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	for _, d := range c.docs {
@@ -182,6 +186,7 @@ func (c *Collection) FindOne(filter Doc) Doc {
 
 // Count returns the number of matching documents.
 func (c *Collection) Count(filter Doc) int {
+	defer observeOp("count", time.Now())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	n := 0
@@ -196,6 +201,7 @@ func (c *Collection) Count(filter Doc) int {
 // UpdateOne merges set into the first document matching filter and reports
 // whether a document was updated.
 func (c *Collection) UpdateOne(filter, set Doc) bool {
+	defer observeOp("update", time.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, d := range c.docs {
@@ -215,6 +221,7 @@ func (c *Collection) UpdateOne(filter, set Doc) bool {
 // DeleteMany removes all matching documents and returns how many were
 // removed.
 func (c *Collection) DeleteMany(filter Doc) int {
+	defer observeOp("delete", time.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	kept := c.docs[:0]
@@ -233,6 +240,7 @@ func (c *Collection) DeleteMany(filter Doc) int {
 // Distinct returns the distinct values of key across matching documents,
 // in first-seen order.
 func (c *Collection) Distinct(key string, filter Doc) []any {
+	defer observeOp("distinct", time.Now())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []any

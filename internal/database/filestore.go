@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // chunkSize mirrors GridFS's default chunk size (255 KiB). Files larger
@@ -49,6 +50,7 @@ func HashBytes(data []byte) string {
 // twice is a no-op (the paper: a file is uploaded "unless it already
 // exists there"). It returns the content hash.
 func (fs *FileStore) Put(name string, data []byte) string {
+	defer observeOp("file_put", time.Now())
 	hash := HashBytes(data)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -72,6 +74,7 @@ func (fs *FileStore) Put(name string, data []byte) string {
 
 // Get reassembles and returns the file with the given content hash.
 func (fs *FileStore) Get(hash string) ([]byte, error) {
+	defer observeOp("file_get", time.Now())
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	meta, ok := fs.metas[hash]

@@ -1,0 +1,21 @@
+package database
+
+import (
+	"time"
+
+	"gem5art/internal/telemetry"
+)
+
+// Per-operation latency histograms for the embedded database, labeled
+// by operation. Buckets are FastBuckets (10µs..100ms): every operation
+// is an in-memory scan or a local file write, so the default
+// request-latency buckets would collapse everything into the first bin.
+var dbOpDuration = telemetry.Default.HistogramVec("gem5art_db_op_duration_seconds",
+	"latency of embedded-database operations by kind",
+	telemetry.FastBuckets, "op")
+
+// observeOp records one operation's latency; use as
+// `defer observeOp("find", time.Now())`.
+func observeOp(op string, start time.Time) {
+	dbOpDuration.With(op).Observe(time.Since(start).Seconds())
+}

@@ -84,6 +84,8 @@ type System struct {
 	simInsts *sim.Scalar
 	perCore  *sim.Vector
 	mispred  *sim.Scalar
+
+	reportedInsts uint64 // instructions already credited to telemetry
 }
 
 type core struct {
@@ -188,6 +190,8 @@ func (s *System) sysHandler(c *core) isa.SysHandler {
 // Run simulates until every loaded core exits or maxTicks elapses, and
 // returns the result. maxTicks of 0 means no limit.
 func (s *System) Run(maxTicks sim.Tick) Result {
+	startTick := s.eq.Now()
+	done := sim.RunScope()
 	for _, c := range s.cores {
 		if c.prog != nil && !c.done {
 			c := c
@@ -199,6 +203,7 @@ func (s *System) Run(maxTicks sim.Tick) Result {
 	} else {
 		s.eq.RunUntil(maxTicks)
 	}
+	done(s.eq.Now() - startTick)
 	res := Result{
 		SimTicks:   s.eq.Now(),
 		Finished:   true,
@@ -212,6 +217,10 @@ func (s *System) Run(maxTicks sim.Tick) Result {
 			res.Finished = false
 		}
 	}
+	// Credit only the instructions this Run call committed, so repeated
+	// Run calls on one system never double-count.
+	sim.CountInstructions(res.Insts - s.reportedInsts)
+	s.reportedInsts = res.Insts
 	if s.roiEnd > s.roiBegin {
 		res.ROITicks = s.roiEnd - s.roiBegin
 	}

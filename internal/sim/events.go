@@ -126,11 +126,18 @@ func (q *EventQueue) Step() bool {
 func (q *EventQueue) Stop() { q.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called, and
-// returns the final tick.
+// returns the final tick. Executed-event counts flush to telemetry in
+// batches so the per-event cost is a local increment.
 func (q *EventQueue) Run() Tick {
 	q.stopped = false
+	var n uint64
 	for !q.stopped && q.Step() {
+		if n++; n == telemetryBatch {
+			flushEvents(n)
+			n = 0
+		}
 	}
+	flushEvents(n)
 	return q.now
 }
 
@@ -138,11 +145,17 @@ func (q *EventQueue) Run() Tick {
 // an empty queue. Time does not advance beyond the last executed event.
 func (q *EventQueue) RunUntil(limit Tick) Tick {
 	q.stopped = false
+	var n uint64
 	for !q.stopped {
 		if len(q.events) == 0 || q.events[0].when > limit {
 			break
 		}
 		q.Step()
+		if n++; n == telemetryBatch {
+			flushEvents(n)
+			n = 0
+		}
 	}
+	flushEvents(n)
 	return q.now
 }

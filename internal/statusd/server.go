@@ -1,0 +1,234 @@
+// Package statusd implements the gem5art status/metrics HTTP daemon:
+// a small server exposing Prometheus metrics, run status backed by the
+// embedded database, broker lease state, and a live SSE stream of
+// run-lifecycle events. It is served standalone by cmd/gem5artd and
+// embedded in gem5art/gem5worker via the -metrics-addr flag.
+package statusd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"gem5art/internal/core/tasks"
+	"gem5art/internal/database"
+	"gem5art/internal/telemetry"
+)
+
+// Server wires the process-wide telemetry registry and event bus to an
+// HTTP handler. DB and Broker are optional: endpoints backed by an
+// absent component report 503 rather than panicking, so a worker (which
+// has no database) can still expose /metrics and /healthz.
+type Server struct {
+	Registry *telemetry.Registry
+	Bus      *telemetry.EventBus
+	DB       *database.DB
+	Broker   *tasks.Broker
+	Start    time.Time
+}
+
+// New returns a server over the process defaults (telemetry.Default,
+// telemetry.Bus) and the given database, which may be nil.
+func New(db *database.DB) *Server {
+	return &Server{
+		Registry: telemetry.Default,
+		Bus:      telemetry.Bus,
+		DB:       db,
+		Start:    time.Now(),
+	}
+}
+
+// Handler builds the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", s.Registry.Handler())
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /api/runs", s.listRuns)
+	mux.HandleFunc("GET /api/runs/{id}", s.getRun)
+	mux.HandleFunc("GET /api/broker", s.brokerState)
+	mux.HandleFunc("GET /api/events", s.events)
+	return mux
+}
+
+// ListenAndServe starts the daemon on addr (":0" picks a free port) and
+// returns the bound address. The server runs until the process exits;
+// errors after startup are reported on the returned channel.
+func ListenAndServe(addr string, s *Server) (string, <-chan error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("statusd: listen %s: %w", addr, err)
+	}
+	errc := make(chan error, 1)
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { errc <- srv.Serve(ln) }()
+	return ln.Addr().String(), errc, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.Start).Seconds(),
+		"database":       s.DB != nil,
+		"broker":         s.Broker != nil,
+	})
+}
+
+// runSummary is the projection of a run document returned by the list
+// endpoint — enough to render a dashboard row without the full spec.
+type runSummary struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	Status      string  `json:"status"`
+	Outcome     string  `json:"outcome,omitempty"`
+	Attempts    int     `json:"attempts"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+func summarize(d database.Doc) runSummary {
+	rs := runSummary{
+		ID:     str(d["_id"]),
+		Name:   str(d["name"]),
+		Status: str(d["status"]),
+	}
+	if o, ok := d["outcome"]; ok {
+		rs.Outcome = str(o)
+	}
+	if atts, ok := d["attempts"].([]any); ok {
+		rs.Attempts = len(atts)
+	}
+	if ws, ok := d["wall_seconds"].(float64); ok {
+		rs.WallSeconds = ws
+	}
+	return rs
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+// listRuns returns run summaries, optionally filtered by ?status= and
+// ?outcome=, newest-insert-last, capped by ?limit=.
+func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
+	if s.DB == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no database attached"})
+		return
+	}
+	filter := database.Doc{}
+	if v := r.URL.Query().Get("status"); v != "" {
+		filter["status"] = v
+	}
+	if v := r.URL.Query().Get("outcome"); v != "" {
+		filter["outcome"] = v
+	}
+	docs := s.DB.Collection("runs").Find(filter)
+	sort.Slice(docs, func(i, j int) bool { return str(docs[i]["name"]) < str(docs[j]["name"]) })
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(docs) {
+			docs = docs[:n]
+		}
+	}
+	out := make([]runSummary, 0, len(docs))
+	for _, d := range docs {
+		out = append(out, summarize(d))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "runs": out})
+}
+
+// getRun returns the full run document plus its attempt history and,
+// when a broker is attached, the live lease state of any in-flight
+// assignment for the run.
+func (s *Server) getRun(w http.ResponseWriter, r *http.Request) {
+	if s.DB == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no database attached"})
+		return
+	}
+	id := r.PathValue("id")
+	doc := s.DB.Collection("runs").FindOne(database.Doc{"_id": id})
+	if doc == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "run not found", "id": id})
+		return
+	}
+	resp := map[string]any{"run": doc}
+	if s.Broker != nil {
+		st := s.Broker.State()
+		for _, a := range st.InFlight {
+			if a.JobID == id {
+				resp["lease"] = a
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) brokerState(w http.ResponseWriter, _ *http.Request) {
+	if s.Broker == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no broker attached"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Broker.State())
+}
+
+// events streams run-lifecycle events as server-sent events. Recent
+// history is replayed first (so a dashboard attaching mid-sweep sees
+// context), then live events follow until the client disconnects.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before replaying so no event falls between the replay
+	// snapshot and the live stream; the seq guard below drops overlap.
+	ch, cancel := s.Bus.Subscribe(64)
+	defer cancel()
+
+	var lastSeq uint64
+	for _, ev := range s.Bus.Recent(64) {
+		writeSSE(w, ev)
+		lastSeq = ev.Seq
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			if ev.Seq <= lastSeq {
+				continue
+			}
+			lastSeq = ev.Seq
+			writeSSE(w, ev)
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev telemetry.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+}

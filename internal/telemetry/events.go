@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one lifecycle transition published to the bus — a run
+// changing status, a broker revoking a lease. Events power the status
+// daemon's SSE stream (/api/events) and are kept in a bounded ring for
+// replay to late subscribers.
+type Event struct {
+	Seq    uint64            `json:"seq"`
+	Time   time.Time         `json:"time"`
+	Type   string            `json:"type"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// EventBus fans published events out to subscribers without ever
+// blocking the publisher: a slow subscriber drops events rather than
+// stalling the experiment.
+type EventBus struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []Event
+	next int
+	subs map[chan Event]struct{}
+}
+
+// NewEventBus returns a bus retaining the last capacity events for
+// replay (minimum 1).
+func NewEventBus(capacity int) *EventBus {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventBus{
+		ring: make([]Event, 0, capacity),
+		subs: make(map[chan Event]struct{}),
+	}
+}
+
+// Bus is the process-wide event bus the run layer publishes to and the
+// status daemon streams from.
+var Bus = NewEventBus(1024)
+
+// Publish records an event and delivers it to every subscriber whose
+// channel has room. It never blocks.
+func (b *EventBus) Publish(typ string, fields map[string]string) {
+	b.mu.Lock()
+	b.seq++
+	ev := Event{Seq: b.seq, Time: time.Now(), Type: typ, Fields: fields}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, ev)
+	} else {
+		b.ring[b.next] = ev
+		b.next = (b.next + 1) % cap(b.ring)
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // subscriber is behind; drop rather than block
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribe registers a new subscriber with the given channel buffer
+// (minimum 1) and returns the channel plus a cancel function. After
+// cancel returns no further events are delivered and the channel is
+// closed.
+func (b *EventBus) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Event, buffer)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Recent returns up to n retained events, oldest first (n <= 0 returns
+// everything retained).
+func (b *EventBus) Recent(n int) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, 0, len(b.ring))
+	out = append(out, b.ring[b.next:]...)
+	out = append(out, b.ring[:b.next]...)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}

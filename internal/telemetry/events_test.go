@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventBusPublishSubscribe(t *testing.T) {
+	b := NewEventBus(8)
+	ch, cancel := b.Subscribe(4)
+	defer cancel()
+	b.Publish("run", map[string]string{"id": "r1", "status": "running"})
+	select {
+	case ev := <-ch:
+		if ev.Type != "run" || ev.Fields["id"] != "r1" || ev.Seq != 1 {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestEventBusRecentReplay(t *testing.T) {
+	b := NewEventBus(4)
+	for i := 0; i < 6; i++ {
+		b.Publish("tick", nil)
+	}
+	recent := b.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d events, want 4 (ring capacity)", len(recent))
+	}
+	// Oldest first, and sequence numbers keep counting past the ring.
+	if recent[0].Seq != 3 || recent[3].Seq != 6 {
+		t.Errorf("recent seqs = %d..%d, want 3..6", recent[0].Seq, recent[3].Seq)
+	}
+	if got := b.Recent(2); len(got) != 2 || got[1].Seq != 6 {
+		t.Errorf("Recent(2) = %+v", got)
+	}
+}
+
+func TestEventBusSlowSubscriberDrops(t *testing.T) {
+	b := NewEventBus(8)
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	// Publisher must never block even though nobody is reading.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			b.Publish("flood", nil)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Publish blocked on a slow subscriber")
+	}
+	if ev := <-ch; ev.Seq != 1 {
+		t.Errorf("first buffered event seq = %d, want 1", ev.Seq)
+	}
+}
+
+func TestEventBusCancelCloses(t *testing.T) {
+	b := NewEventBus(8)
+	ch, cancel := b.Subscribe(1)
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Error("channel not closed after cancel")
+	}
+	b.Publish("after", nil) // must not panic on closed subscriber
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The trace-hook layer mirrors the shape of Akita-style hook tracing in
+// discrete-event simulators: instrumented code opens spans around units
+// of work (a run attempt, a database flush, a boot simulation) and
+// emits typed point events inside them. Production code talks to the
+// Tracer interface; tests and the status daemon attach a RingRecorder
+// to observe what happened without changing the instrumented code.
+
+// Attr is one typed key/value attribute on a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String constructs a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int constructs an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Float constructs a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool constructs a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// Tracer receives span and event hooks from instrumented code.
+// Implementations must be safe for concurrent use.
+type Tracer interface {
+	// StartSpan opens a span; the returned Span must be ended exactly
+	// once.
+	StartSpan(name string, attrs ...Attr) Span
+	// Event records a point event outside any span.
+	Event(name string, attrs ...Attr)
+}
+
+// Span is one in-flight traced operation.
+type Span interface {
+	// Event records a point event inside the span.
+	Event(name string, attrs ...Attr)
+	// End closes the span, recording its duration.
+	End()
+}
+
+// Nop returns a Tracer that records nothing. It is the default wherever
+// a Tracer parameter is optional, so instrumented paths need no nil
+// checks.
+func Nop() Tracer { return nopTracer{} }
+
+type nopTracer struct{}
+type nopSpan struct{}
+
+func (nopTracer) StartSpan(string, ...Attr) Span { return nopSpan{} }
+func (nopTracer) Event(string, ...Attr)          {}
+func (nopSpan) Event(string, ...Attr)            {}
+func (nopSpan) End()                             {}
+
+// RecordKind classifies one trace record.
+type RecordKind uint8
+
+// Record kinds.
+const (
+	KindSpanStart RecordKind = iota
+	KindSpanEnd
+	KindEvent
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case KindSpanStart:
+		return "span-start"
+	case KindSpanEnd:
+		return "span-end"
+	case KindEvent:
+		return "event"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Record is one captured trace entry.
+type Record struct {
+	Kind  RecordKind
+	Span  uint64 // span id; 0 for free-standing events
+	Name  string
+	Time  time.Time
+	Dur   time.Duration // set on KindSpanEnd
+	Attrs []Attr
+}
+
+// RingRecorder is a Tracer that keeps the most recent records in a
+// fixed-capacity ring buffer — cheap enough to stay attached during
+// long sweeps, with bounded memory.
+type RingRecorder struct {
+	mu      sync.Mutex
+	buf     []Record
+	next    int
+	total   uint64
+	spanSeq atomic.Uint64
+}
+
+// NewRingRecorder returns a recorder retaining the last capacity
+// records (minimum 1).
+func NewRingRecorder(capacity int) *RingRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingRecorder{buf: make([]Record, 0, capacity)}
+}
+
+func (r *RingRecorder) record(rec Record) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// StartSpan implements Tracer.
+func (r *RingRecorder) StartSpan(name string, attrs ...Attr) Span {
+	id := r.spanSeq.Add(1)
+	start := time.Now()
+	r.record(Record{Kind: KindSpanStart, Span: id, Name: name, Time: start, Attrs: attrs})
+	return &ringSpan{rec: r, id: id, name: name, start: start}
+}
+
+// Event implements Tracer.
+func (r *RingRecorder) Event(name string, attrs ...Attr) {
+	r.record(Record{Kind: KindEvent, Name: name, Time: time.Now(), Attrs: attrs})
+}
+
+// Records returns the retained records, oldest first.
+func (r *RingRecorder) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total reports how many records were ever written (including ones the
+// ring has since overwritten).
+func (r *RingRecorder) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped reports how many records were overwritten by newer ones.
+func (r *RingRecorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}
+
+type ringSpan struct {
+	rec   *RingRecorder
+	id    uint64
+	name  string
+	start time.Time
+	ended atomic.Bool
+}
+
+// Event implements Span.
+func (s *ringSpan) Event(name string, attrs ...Attr) {
+	s.rec.record(Record{Kind: KindEvent, Span: s.id, Name: name, Time: time.Now(), Attrs: attrs})
+}
+
+// End implements Span. Ending twice records only once.
+func (s *ringSpan) End() {
+	if s.ended.Swap(true) {
+		return
+	}
+	now := time.Now()
+	s.rec.record(Record{Kind: KindSpanEnd, Span: s.id, Name: s.name, Time: now, Dur: now.Sub(s.start)})
+}
