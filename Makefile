@@ -14,10 +14,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench measures the telemetry overhead of the simulation event loop
-# (instrumented vs uninstrumented) and writes BENCH_telemetry.json.
-# Exits non-zero if the overhead exceeds the 5% budget.
+# bench runs both gem5bench suites:
+#   telemetry — event-loop instrumentation overhead (budget: <5%),
+#     written to BENCH_telemetry.json;
+#   storage — journaled insert cost, indexed-vs-scan FindOne (required:
+#     >=5x at 10k docs), journal-vs-snapshot persistence, written to
+#     BENCH_storage.json.
+# Exits non-zero if either suite misses its budget.
 bench:
-	$(GO) run ./cmd/gem5bench -out BENCH_telemetry.json
+	$(GO) run ./cmd/gem5bench -suite telemetry -out BENCH_telemetry.json
+	$(GO) run ./cmd/gem5bench -suite storage -out BENCH_storage.json
 
 ci: build vet race

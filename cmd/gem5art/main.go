@@ -199,7 +199,7 @@ func summaryCmd(args []string) error {
 
 // printFlakyRuns lists runs that needed more than one attempt, with
 // each attempt's status — the per-run history the retry layer persists.
-func printFlakyRuns(db *database.DB) {
+func printFlakyRuns(db database.Store) {
 	for _, d := range db.Collection("runs").Find(nil) {
 		atts, ok := d["attempts"].([]any)
 		if !ok || len(atts) < 2 {

@@ -1,13 +1,23 @@
-// Command gem5bench measures the telemetry overhead of the simulation
-// event loop: it times a self-rescheduling event chain with telemetry
-// disabled and enabled, and writes the comparison to a JSON file. The
-// instrumentation budget is <5% when no scraper is attached — the loop
-// only pays a local increment per event plus one atomic flush per
-// batch, so anything above that indicates a regression on the hot path.
+// Command gem5bench measures the performance-critical paths of the
+// simulation infrastructure and writes machine-readable reports.
+//
+// Two suites are available:
+//
+//   - telemetry: times a self-rescheduling event chain with telemetry
+//     disabled and enabled. The instrumentation budget is <5% when no
+//     scraper is attached — the loop only pays a local increment per
+//     event plus one atomic flush per batch, so anything above that
+//     indicates a regression on the hot path.
+//
+//   - storage: times the embedded database's write and lookup paths —
+//     journaled insert cost, indexed vs scanned FindOne at 10k
+//     documents, and journal-append persistence vs periodic whole-file
+//     snapshot rewrites. Indexed lookups must beat scans by at least
+//     5x at this size, or the index fast path has regressed.
 //
 // Usage:
 //
-//	gem5bench [-out BENCH_telemetry.json] [-events N]
+//	gem5bench [-suite telemetry|storage] [-out FILE]
 package main
 
 import (
@@ -20,7 +30,7 @@ import (
 	"gem5art/internal/sim"
 )
 
-// result is the benchmark report written to -out.
+// result is the telemetry benchmark report.
 type result struct {
 	EventsPerRun        int     `json:"events_per_run"`
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op"`     // telemetry disabled
@@ -58,46 +68,70 @@ func measure(events int, enabled bool) testing.BenchmarkResult {
 	})
 }
 
-func main() {
-	out := flag.String("out", "BENCH_telemetry.json", "output file for the benchmark report")
-	events := flag.Int("events", 200_000, "events per benchmark iteration")
-	threshold := flag.Float64("threshold", 5.0, "maximum allowed overhead percent")
-	flag.Parse()
+func runTelemetry(out string, events int, threshold float64) bool {
+	fmt.Printf("benchmarking %d-event chains (telemetry off, then on)...\n", events)
+	base := measure(events, false)
+	inst := measure(events, true)
 
-	fmt.Printf("benchmarking %d-event chains (telemetry off, then on)...\n", *events)
-	base := measure(*events, false)
-	inst := measure(*events, true)
-
-	baseNs := float64(base.NsPerOp()) / float64(*events)
-	instNs := float64(inst.NsPerOp()) / float64(*events)
+	baseNs := float64(base.NsPerOp()) / float64(events)
+	instNs := float64(inst.NsPerOp()) / float64(events)
 	overhead := (instNs - baseNs) / baseNs * 100
 
 	r := result{
-		EventsPerRun:        *events,
+		EventsPerRun:        events,
 		BaselineNsPerOp:     baseNs,
 		InstrumentedNsPerOp: instNs,
 		OverheadPct:         overhead,
-		ThresholdPct:        *threshold,
-		Pass:                overhead < *threshold,
+		ThresholdPct:        threshold,
+		Pass:                overhead < threshold,
 		BaselineTotalNs:     base.T.Nanoseconds(),
 		InstrumentedTotalNs: inst.T.Nanoseconds(),
 	}
-	data, err := json.MarshalIndent(r, "", "  ")
+	writeReport(out, r)
+	fmt.Printf("baseline:     %.2f ns/event\n", baseNs)
+	fmt.Printf("instrumented: %.2f ns/event\n", instNs)
+	fmt.Printf("overhead:     %.2f%% (budget %.1f%%) -> %s\n", overhead, threshold, verdict(r.Pass))
+	fmt.Printf("report written to %s\n", out)
+	return r.Pass
+}
+
+// writeReport marshals a report to out, exiting on failure.
+func writeReport(out string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gem5bench:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "gem5bench:", err)
 		os.Exit(1)
 	}
+}
 
-	fmt.Printf("baseline:     %.2f ns/event\n", baseNs)
-	fmt.Printf("instrumented: %.2f ns/event\n", instNs)
-	fmt.Printf("overhead:     %.2f%% (budget %.1f%%) -> %s\n", overhead, *threshold, verdict(r.Pass))
-	fmt.Printf("report written to %s\n", *out)
-	if !r.Pass {
+func main() {
+	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry or storage")
+	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
+	events := flag.Int("events", 200_000, "telemetry: events per benchmark iteration")
+	threshold := flag.Float64("threshold", 5.0, "telemetry: maximum allowed overhead percent")
+	docs := flag.Int("docs", 10_000, "storage: documents per benchmark")
+	speedup := flag.Float64("speedup", 5.0, "storage: required indexed-vs-scan FindOne speedup")
+	flag.Parse()
+
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
+	}
+	var pass bool
+	switch *suite {
+	case "telemetry":
+		pass = runTelemetry(*out, *events, *threshold)
+	case "storage":
+		pass = runStorage(*out, *docs, *speedup)
+	default:
+		fmt.Fprintf(os.Stderr, "gem5bench: unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+	if !pass {
 		os.Exit(1)
 	}
 }

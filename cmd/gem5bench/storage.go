@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"gem5art/internal/database"
+)
+
+// storageResult is the storage benchmark report (BENCH_storage.json).
+type storageResult struct {
+	Docs int `json:"docs"`
+
+	// Journaled insert path: append one record per insert.
+	InsertJournalNsPerDoc float64 `json:"insert_journal_ns_per_doc"`
+
+	// Point lookup at Docs documents: hash index vs full scan.
+	IndexedFindNsPerOp float64 `json:"indexed_find_ns_per_op"`
+	ScanFindNsPerOp    float64 `json:"scan_find_ns_per_op"`
+	IndexSpeedup       float64 `json:"index_speedup"`
+	SpeedupThreshold   float64 `json:"speedup_threshold"`
+
+	// Persisting a Docs-insert sweep: journal appends vs rewriting the
+	// whole collection file every FlushEvery inserts (the pre-journal
+	// durability pattern).
+	JournalPersistNs  int64 `json:"journal_persist_ns"`
+	SnapshotPersistNs int64 `json:"snapshot_persist_ns"`
+	FlushEvery        int   `json:"flush_every"`
+
+	Pass bool `json:"pass"` // index speedup within threshold
+}
+
+// doc builds the i-th benchmark document: a run-sized record with an
+// indexable unique hash.
+func doc(i int) database.Doc {
+	return database.Doc{
+		"hash":   fmt.Sprintf("%032x", i),
+		"name":   fmt.Sprintf("run-%d", i),
+		"status": "done",
+		"ticks":  i * 1000,
+	}
+}
+
+// seedCollection fills a fresh in-memory collection with n docs,
+// optionally under a unique index on "hash".
+func seedCollection(n int, indexed bool) database.Collection {
+	c := database.MustOpen("").Collection("runs")
+	if indexed {
+		c.CreateUniqueIndex("hash")
+	}
+	for i := 0; i < n; i++ {
+		if _, err := c.InsertOne(doc(i)); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// insertSweep inserts n docs into a store rooted at a fresh temp dir
+// and returns the total wall time. flushEvery > 0 reproduces the
+// pre-journal durability pattern: rewrite every collection file each
+// flushEvery inserts.
+func insertSweep(n int, opts database.Options, flushEvery int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "gem5bench-db")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := database.OpenWith(dir, opts)
+	if err != nil {
+		return 0, err
+	}
+	c := db.Collection("runs")
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := c.InsertOne(doc(i)); err != nil {
+			return 0, err
+		}
+		if flushEvery > 0 && (i+1)%flushEvery == 0 {
+			if err := db.Flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	return elapsed, db.Close()
+}
+
+func runStorage(out string, docs int, speedupThreshold float64) bool {
+	fmt.Printf("benchmarking storage engine at %d documents...\n", docs)
+
+	// Insert cost on the journaled path. SyncOnCommit is disabled so the
+	// number reflects engine work (journal framing + index maintenance),
+	// not the device's fsync latency.
+	opts := database.Options{Journal: true, SyncOnCommit: false}
+	journalDur, err := insertSweep(docs, opts, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+
+	// The same sweep persisted the pre-journal way: whole-file snapshot
+	// rewrite every 100 inserts — O(total docs) per flush.
+	const flushEvery = 100
+	snapshotDur, err := insertSweep(docs, database.Options{Journal: false}, flushEvery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+
+	// Point lookups at docs documents, hitting a key in the middle.
+	target := database.Doc{"hash": fmt.Sprintf("%032x", docs/2)}
+	indexed := seedCollection(docs, true)
+	scan := seedCollection(docs, false)
+	indexedRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if indexed.FindOne(target) == nil {
+				b.Fatal("indexed lookup missed")
+			}
+		}
+	})
+	scanRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if scan.FindOne(target) == nil {
+				b.Fatal("scan lookup missed")
+			}
+		}
+	})
+
+	r := storageResult{
+		Docs:                  docs,
+		InsertJournalNsPerDoc: float64(journalDur.Nanoseconds()) / float64(docs),
+		IndexedFindNsPerOp:    float64(indexedRes.NsPerOp()),
+		ScanFindNsPerOp:       float64(scanRes.NsPerOp()),
+		SpeedupThreshold:      speedupThreshold,
+		JournalPersistNs:      journalDur.Nanoseconds(),
+		SnapshotPersistNs:     snapshotDur.Nanoseconds(),
+		FlushEvery:            flushEvery,
+	}
+	if r.IndexedFindNsPerOp > 0 {
+		r.IndexSpeedup = r.ScanFindNsPerOp / r.IndexedFindNsPerOp
+	}
+	r.Pass = r.IndexSpeedup >= speedupThreshold
+	writeReport(out, r)
+
+	fmt.Printf("journaled insert:   %.0f ns/doc (%d docs in %v)\n", r.InsertJournalNsPerDoc, docs, journalDur)
+	fmt.Printf("snapshot persist:   %v for the same sweep (flush every %d)\n", snapshotDur, flushEvery)
+	fmt.Printf("indexed FindOne:    %.0f ns/op\n", r.IndexedFindNsPerOp)
+	fmt.Printf("scanned FindOne:    %.0f ns/op\n", r.ScanFindNsPerOp)
+	fmt.Printf("index speedup:      %.1fx (required %.1fx) -> %s\n", r.IndexSpeedup, speedupThreshold, verdict(r.Pass))
+	fmt.Printf("report written to %s\n", out)
+	return r.Pass
+}

@@ -26,7 +26,7 @@ type RunRow struct {
 }
 
 // ExtractRuns flattens every run document matching filter.
-func ExtractRuns(db *database.DB, filter database.Doc) []RunRow {
+func ExtractRuns(db database.Store, filter database.Doc) []RunRow {
 	var out []RunRow
 	for _, d := range db.Collection("runs").Find(filter) {
 		row := RunRow{Params: map[string]string{}}

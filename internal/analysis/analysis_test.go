@@ -7,7 +7,7 @@ import (
 	"gem5art/internal/database"
 )
 
-func seedRuns(t *testing.T) *database.DB {
+func seedRuns(t *testing.T) database.Store {
 	t.Helper()
 	db := database.MustOpen("")
 	c := db.Collection("runs")

@@ -61,20 +61,20 @@ type Options struct {
 
 // Registry registers and looks up artifacts against a database.
 type Registry struct {
-	db *database.DB
+	db database.Store
 }
 
 // NewRegistry returns a registry backed by db, installing the uniqueness
 // index the paper requires ("duplicate artifacts are not permitted in
 // the database").
-func NewRegistry(db *database.DB) *Registry {
+func NewRegistry(db database.Store) *Registry {
 	c := db.Collection(Collection)
 	c.CreateUniqueIndex("hash", "name")
 	return &Registry{db: db}
 }
 
 // DB exposes the backing database (runs reference it too).
-func (r *Registry) DB() *database.DB { return r.db }
+func (r *Registry) DB() database.Store { return r.db }
 
 // NewUUID returns a random RFC-4122-shaped identifier.
 func NewUUID() string {

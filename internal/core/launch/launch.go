@@ -144,7 +144,7 @@ type Summary struct {
 }
 
 // Summarize builds a Summary over all runs in the database.
-func Summarize(db *database.DB) Summary {
+func Summarize(db database.Store) Summary {
 	s := Summary{ByStatus: map[string]int{}, ByOutcome: map[string]int{}}
 	for _, d := range db.Collection(run.Collection).Find(nil) {
 		s.Total++

@@ -440,7 +440,7 @@ func (r *Run) update() {
 	r.mu.Unlock()
 	delete(set, "_id")
 	col := r.reg.DB().Collection(Collection)
-	if !col.UpdateOne(database.Doc{"_id": r.ID}, set) {
+	if ok, err := col.UpdateOne(database.Doc{"_id": r.ID}, set); err == nil && !ok {
 		// The document should always exist; recreate defensively.
 		r.mu.Lock()
 		d := r.doc()
@@ -465,6 +465,6 @@ func paramsAny(ps []string) []any {
 }
 
 // Find queries run documents.
-func Find(db *database.DB, filter database.Doc) []database.Doc {
+func Find(db database.Store, filter database.Doc) []database.Doc {
 	return db.Collection(Collection).Find(filter)
 }

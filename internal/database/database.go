@@ -1,52 +1,99 @@
-// Package database implements an embedded document database modeled on the
-// subset of MongoDB that gem5art depends on: named collections of JSON-like
-// documents, filter-based queries, unique indexes (used to deduplicate
-// artifacts by hash), and a GridFS-style chunked file store for large
-// binary artifacts such as disk images and kernels.
+// Package database implements the default storage engine behind the
+// interfaces of internal/database/storage: an embedded document
+// database modeled on the subset of MongoDB that gem5art depends on —
+// named collections of JSON-like documents, filter-based queries,
+// unique indexes (used to deduplicate artifacts by hash), and a
+// GridFS-style chunked file store for large binary artifacts such as
+// disk images and kernels.
 //
-// The database is safe for concurrent use and can run fully in memory or
-// persist every collection as a JSON-lines file under a directory.
+// The engine runs fully in memory or persists to a directory. The
+// persistent path is journaled by default: every mutation appends one
+// fsynced record to a per-collection append-only journal, startup
+// replays the journal on top of the last snapshot, and background
+// compaction folds a grown journal back into a snapshot. Equality
+// lookups on "_id" or on the keys of a unique index are served from
+// hash indexes without scanning the collection.
+//
+// Consumers must not depend on the concrete types here — they program
+// against storage.Store (aliased below as Store) so other engines can
+// be swapped in.
 package database
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"gem5art/internal/database/storage"
 )
 
-// Doc is a single document: a JSON-like map from field names to values.
-// Nested documents are Doc or map[string]any; arrays are []any.
-type Doc = map[string]any
+// Interface and value types re-exported so call sites read
+// database.Store / database.Doc while depending only on the
+// engine-neutral storage contract.
+type (
+	Doc          = storage.Doc
+	Store        = storage.Store
+	Collection   = storage.Collection
+	FileStore    = storage.FileStore
+	FileMeta     = storage.FileMeta
+	ErrDuplicate = storage.ErrDuplicate
+	FindOptions  = storage.FindOptions
+	Aggregate    = storage.Aggregate
+)
 
-// DB is an embedded document database instance.
-type DB struct {
-	mu          sync.RWMutex
-	dir         string // "" means in-memory only
-	collections map[string]*Collection
-	files       *FileStore
+// HashBytes returns the hex MD5 of data — the identity used for
+// artifact deduplication throughout gem5art.
+func HashBytes(data []byte) string { return storage.HashBytes(data) }
+
+// Matches reports whether document d satisfies filter (see
+// storage.Matches for the semantics).
+func Matches(d, filter Doc) bool { return storage.Matches(d, filter) }
+
+// Options selects and tunes the engine's durability path.
+type Options struct {
+	// Journal enables the append-only journal: mutations append records
+	// instead of relying on whole-file snapshot rewrites at Flush time.
+	// Ignored for in-memory stores (empty dir).
+	Journal bool
+	// SyncOnCommit fsyncs the journal after every mutation, making each
+	// committed operation durable against process crashes.
+	SyncOnCommit bool
+	// CompactAfter triggers background compaction once a collection's
+	// journal holds at least this many records (0 = default 8192).
+	// Compaction also fires early when the journal dwarfs the live
+	// document count, so delete/update-heavy workloads do not replay
+	// unbounded history at startup.
+	CompactAfter int
 }
 
-// Open opens (or creates) a database. If dir is empty the database lives
-// purely in memory; otherwise collections and files are loaded from and
-// persisted to that directory.
-func Open(dir string) (*DB, error) {
-	db := &DB{
-		dir:         dir,
-		collections: make(map[string]*Collection),
-	}
-	db.files = newFileStore(db)
-	if dir != "" {
-		if err := db.load(); err != nil {
-			return nil, fmt.Errorf("database: open %s: %w", dir, err)
-		}
+// DefaultOptions is the configuration Open uses: journaled, fsync on
+// every commit.
+func DefaultOptions() Options {
+	return Options{Journal: true, SyncOnCommit: true, CompactAfter: 8192}
+}
+
+// Open opens (or creates) a database with the default engine options.
+// If dir is empty the database lives purely in memory; otherwise
+// collections and files are loaded from (snapshot + journal replay)
+// and persisted to that directory.
+func Open(dir string) (Store, error) { return OpenWith(dir, DefaultOptions()) }
+
+// OpenWith opens a database with explicit engine options. Options only
+// affect how mutations are made durable; any on-disk state (snapshots,
+// journals, legacy layouts) is always loaded.
+func OpenWith(dir string, opts Options) (Store, error) {
+	db, err := open(dir, opts)
+	if err != nil {
+		return nil, err
 	}
 	return db, nil
 }
 
 // MustOpen is Open for tests and examples where failure is fatal.
-func MustOpen(dir string) *DB {
+func MustOpen(dir string) Store {
 	db, err := Open(dir)
 	if err != nil {
 		panic(err)
@@ -54,13 +101,45 @@ func MustOpen(dir string) *DB {
 	return db
 }
 
+func open(dir string, opts Options) (*DB, error) {
+	if opts.CompactAfter <= 0 {
+		opts.CompactAfter = 8192
+	}
+	db := &DB{
+		dir:         dir,
+		opts:        opts,
+		collections: make(map[string]*collection),
+	}
+	db.files = newFileStore(db)
+	if dir != "" {
+		start := time.Now()
+		if err := db.load(); err != nil {
+			return nil, fmt.Errorf("database: open %s: %w", dir, err)
+		}
+		dbReplaySeconds.Set(time.Since(start).Seconds())
+	}
+	return db, nil
+}
+
+// DB is the default embedded engine. It implements storage.Store.
+type DB struct {
+	mu          sync.RWMutex
+	dir         string // "" means in-memory only
+	opts        Options
+	collections map[string]*collection
+	files       *fileStore
+	compactWG   sync.WaitGroup
+}
+
 // Collection returns the named collection, creating it if necessary.
-func (db *DB) Collection(name string) *Collection {
+func (db *DB) Collection(name string) Collection { return db.collection(name) }
+
+func (db *DB) collection(name string) *collection {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	c, ok := db.collections[name]
 	if !ok {
-		c = &Collection{name: name, db: db}
+		c = &collection{name: name, db: db, byID: make(map[string]int)}
 		db.collections[name] = c
 	}
 	return c
@@ -79,75 +158,137 @@ func (db *DB) CollectionNames() []string {
 }
 
 // Files returns the database's file store.
-func (db *DB) Files() *FileStore { return db.files }
+func (db *DB) Files() FileStore { return db.files }
 
-// Close flushes the database to disk (when persistent) and releases it.
+// snapshot returns the collections at a point in time for iteration
+// without holding the database lock.
+func (db *DB) snapshot() []*collection {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cols := make([]*collection, 0, len(db.collections))
+	for _, c := range db.collections {
+		cols = append(cols, c)
+	}
+	return cols
+}
+
+// Close makes the database durable and releases it. With the journal
+// enabled this is cheap — journals are already synced per commit, so
+// Close only drains background compactions and closes file handles; it
+// does not rewrite collections. Snapshot-mode stores flush in full.
 func (db *DB) Close() error {
 	if db.dir == "" {
 		return nil
 	}
-	return db.Flush()
+	db.compactWG.Wait()
+	if !db.opts.Journal {
+		return db.Flush()
+	}
+	var firstErr error
+	for _, c := range db.snapshot() {
+		c.mu.Lock()
+		if c.journal != nil {
+			if err := c.journal.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			c.journal = nil
+		}
+		c.mu.Unlock()
+	}
+	if err := db.files.flushAll(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
-// Collection is an ordered set of documents with optional unique indexes.
-type Collection struct {
+// collection is the engine's concrete collection. It implements
+// storage.Collection.
+type collection struct {
 	mu      sync.RWMutex
 	name    string
 	db      *DB
 	docs    []Doc
-	uniques [][]string // each entry is a set of keys forming a unique index
+	uniques []*uniqueIndex
+	byID    map[string]int // "_id" -> position in docs
 	nextID  int64
+	journal *journalWriter // nil when not journaling
+	compacting bool        // a background compaction is queued or running
 }
 
 // Name returns the collection name.
-func (c *Collection) Name() string { return c.name }
+func (c *collection) Name() string { return c.name }
 
-// ErrDuplicate is returned when an insert violates a unique index.
-type ErrDuplicate struct {
-	Collection string
-	Keys       []string
-}
-
-func (e *ErrDuplicate) Error() string {
-	return fmt.Sprintf("database: duplicate document in %s on index (%s)",
-		e.Collection, strings.Join(e.Keys, ","))
-}
-
-// CreateUniqueIndex declares that the combination of the given keys must be
-// unique across the collection. Inserting a document whose values for the
-// keys match an existing document fails with *ErrDuplicate.
-func (c *Collection) CreateUniqueIndex(keys ...string) {
+// CreateUniqueIndex declares that the combination of the given keys
+// must be unique across the collection, and builds a hash index over
+// the existing documents so equality lookups on exactly these keys are
+// O(1). Re-declaring an existing index is a no-op (registries install
+// their indexes on every open).
+func (c *collection) CreateUniqueIndex(keys ...string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ks := append([]string(nil), keys...)
-	c.uniques = append(c.uniques, ks)
+	for _, idx := range c.uniques {
+		if sameKeys(idx.keys, keys) {
+			return
+		}
+	}
+	idx := newUniqueIndex(keys)
+	idx.build(c.docs)
+	c.uniques = append(c.uniques, idx)
 }
 
-// InsertOne inserts a document, assigning an "_id" if absent, and returns
-// the id. The document is shallow-copied so later caller mutations do not
-// corrupt the store.
-func (c *Collection) InsertOne(d Doc) (string, error) {
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InsertOne inserts a deep copy of d, assigning an "_id" if absent,
+// and returns the id.
+func (c *collection) InsertOne(d Doc) (string, error) {
 	defer observeOp("insert", time.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cp := copyDoc(d)
+	cp := storage.CloneDoc(d)
 	if _, ok := cp["_id"]; !ok {
 		c.nextID++
 		cp["_id"] = fmt.Sprintf("%s-%d", c.name, c.nextID)
 	}
-	for _, keys := range c.uniques {
-		for _, existing := range c.docs {
-			if docsMatchOnKeys(existing, cp, keys) {
-				return "", &ErrDuplicate{Collection: c.name, Keys: keys}
-			}
-		}
+	if err := c.insertLocked(cp); err != nil {
+		return "", err
 	}
-	c.docs = append(c.docs, cp)
+	c.logRecord(journalRecord{Op: opInsert, Doc: cp})
 	return fmt.Sprint(cp["_id"]), nil
 }
 
+// insertLocked validates cp against every unique index and appends it.
+// The caller holds c.mu and has already deep-copied the document.
+func (c *collection) insertLocked(cp Doc) error {
+	id := fmt.Sprint(cp["_id"])
+	if _, dup := c.byID[id]; dup {
+		return &ErrDuplicate{Collection: c.name, Keys: []string{"_id"}}
+	}
+	for _, idx := range c.uniques {
+		if _, dup := idx.pos[canonicalKey(cp, idx.keys)]; dup {
+			return &ErrDuplicate{Collection: c.name, Keys: idx.keys}
+		}
+	}
+	pos := len(c.docs)
+	c.docs = append(c.docs, cp)
+	c.byID[id] = pos
+	for _, idx := range c.uniques {
+		idx.pos[canonicalKey(cp, idx.keys)] = pos
+	}
+	return nil
+}
+
 // InsertMany inserts documents in order, stopping at the first error.
-func (c *Collection) InsertMany(ds []Doc) error {
+func (c *collection) InsertMany(ds []Doc) error {
 	for _, d := range ds {
 		if _, err := c.InsertOne(d); err != nil {
 			return err
@@ -156,127 +297,227 @@ func (c *Collection) InsertMany(ds []Doc) error {
 	return nil
 }
 
-// Find returns copies of all documents matching filter, in insertion order.
-// A nil or empty filter matches every document.
-func (c *Collection) Find(filter Doc) []Doc {
+// Find returns deep copies of all documents matching filter, in
+// insertion order. Equality filters on "_id" or on a unique index's
+// exact key set are answered from the index without scanning.
+func (c *collection) Find(filter Doc) []Doc {
 	defer observeOp("find", time.Now())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if pos, found, eligible := c.indexLookupLocked(filter); eligible {
+		if found && storage.Matches(c.docs[pos], filter) {
+			return []Doc{storage.CloneDoc(c.docs[pos])}
+		}
+		return nil
+	}
 	var out []Doc
 	for _, d := range c.docs {
-		if Matches(d, filter) {
-			out = append(out, copyDoc(d))
+		if storage.Matches(d, filter) {
+			out = append(out, storage.CloneDoc(d))
 		}
 	}
 	return out
 }
 
 // FindOne returns the first matching document, or nil if none matches.
-func (c *Collection) FindOne(filter Doc) Doc {
+func (c *collection) FindOne(filter Doc) Doc {
 	defer observeOp("find_one", time.Now())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if pos, found, eligible := c.indexLookupLocked(filter); eligible {
+		if found && storage.Matches(c.docs[pos], filter) {
+			return storage.CloneDoc(c.docs[pos])
+		}
+		return nil
+	}
 	for _, d := range c.docs {
-		if Matches(d, filter) {
-			return copyDoc(d)
+		if storage.Matches(d, filter) {
+			return storage.CloneDoc(d)
 		}
 	}
 	return nil
 }
 
 // Count returns the number of matching documents.
-func (c *Collection) Count(filter Doc) int {
+func (c *collection) Count(filter Doc) int {
 	defer observeOp("count", time.Now())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if pos, found, eligible := c.indexLookupLocked(filter); eligible {
+		if found && storage.Matches(c.docs[pos], filter) {
+			return 1
+		}
+		return 0
+	}
 	n := 0
 	for _, d := range c.docs {
-		if Matches(d, filter) {
+		if storage.Matches(d, filter) {
 			n++
 		}
 	}
 	return n
 }
 
-// UpdateOne merges set into the first document matching filter and reports
-// whether a document was updated.
-func (c *Collection) UpdateOne(filter, set Doc) bool {
+// FindWith returns matching documents refined by opts.
+func (c *collection) FindWith(filter Doc, opts FindOptions) []Doc {
+	return storage.ApplyFindOptions(c.Find(filter), opts)
+}
+
+// AggregateKey summarizes the numeric values of key over matching
+// documents without copying them.
+func (c *collection) AggregateKey(filter Doc, key string) Aggregate {
+	defer observeOp("aggregate", time.Now())
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var agg Aggregate
+	for _, d := range c.docs {
+		if !storage.Matches(d, filter) {
+			continue
+		}
+		v, ok := storage.Lookup(d, key)
+		if !ok {
+			continue
+		}
+		f, ok := storage.ToFloat(v)
+		if !ok {
+			continue
+		}
+		if agg.Count == 0 || f < agg.Min {
+			agg.Min = f
+		}
+		if agg.Count == 0 || f > agg.Max {
+			agg.Max = f
+		}
+		agg.Count++
+		agg.Sum += f
+	}
+	return agg
+}
+
+// UpdateOne merges set into the first document matching filter and
+// reports whether a document matched. A merge that would collide with
+// another document on a unique index is rejected with *ErrDuplicate
+// and leaves the store unchanged.
+func (c *collection) UpdateOne(filter, set Doc) (bool, error) {
 	defer observeOp("update", time.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, d := range c.docs {
-		if Matches(d, filter) {
-			for k, v := range set {
-				if k == "_id" {
-					continue
-				}
-				d[k] = v
+	pos := -1
+	if p, found, eligible := c.indexLookupLocked(filter); eligible {
+		if found && storage.Matches(c.docs[p], filter) {
+			pos = p
+		}
+	} else {
+		for i, d := range c.docs {
+			if storage.Matches(d, filter) {
+				pos = i
+				break
 			}
-			return true
 		}
 	}
-	return false
+	if pos < 0 {
+		return false, nil
+	}
+	d := c.docs[pos]
+	// Validate the merged document against every unique index before
+	// touching anything: an update must not sneak past the uniqueness
+	// guarantee an insert would have hit.
+	merged := storage.CloneDoc(d)
+	for k, v := range set {
+		if k == "_id" {
+			continue
+		}
+		merged[k] = v
+	}
+	type rekey struct {
+		idx      *uniqueIndex
+		old, new string
+	}
+	var rekeys []rekey
+	for _, idx := range c.uniques {
+		oldKey := canonicalKey(d, idx.keys)
+		newKey := canonicalKey(merged, idx.keys)
+		if oldKey == newKey {
+			continue
+		}
+		if other, taken := idx.pos[newKey]; taken && other != pos {
+			return false, &ErrDuplicate{Collection: c.name, Keys: idx.keys}
+		}
+		rekeys = append(rekeys, rekey{idx, oldKey, newKey})
+	}
+	for _, rk := range rekeys {
+		delete(rk.idx.pos, rk.old)
+		rk.idx.pos[rk.new] = pos
+	}
+	setCopy := storage.CloneDoc(set)
+	delete(setCopy, "_id")
+	for k, v := range setCopy {
+		d[k] = v
+	}
+	c.logRecord(journalRecord{Op: opUpdate, ID: fmt.Sprint(d["_id"]), Set: setCopy})
+	return true, nil
 }
 
 // DeleteMany removes all matching documents and returns how many were
 // removed.
-func (c *Collection) DeleteMany(filter Doc) int {
+func (c *collection) DeleteMany(filter Doc) int {
 	defer observeOp("delete", time.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	kept := c.docs[:0]
-	removed := 0
+	var removedIDs []string
 	for _, d := range c.docs {
-		if Matches(d, filter) {
-			removed++
+		if storage.Matches(d, filter) {
+			removedIDs = append(removedIDs, fmt.Sprint(d["_id"]))
 			continue
 		}
 		kept = append(kept, d)
 	}
+	if len(removedIDs) == 0 {
+		return 0
+	}
+	for i := len(kept); i < len(c.docs); i++ {
+		c.docs[i] = nil // release removed docs
+	}
 	c.docs = kept
-	return removed
+	c.rebuildIndexesLocked()
+	c.logRecord(journalRecord{Op: opDelete, IDs: removedIDs})
+	return len(removedIDs)
 }
 
-// Distinct returns the distinct values of key across matching documents,
-// in first-seen order.
-func (c *Collection) Distinct(key string, filter Doc) []any {
+// Distinct returns the distinct values of key across matching
+// documents, in first-seen order. Values are deep-copied.
+func (c *collection) Distinct(key string, filter Doc) []any {
 	defer observeOp("distinct", time.Now())
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []any
 	seen := make(map[string]bool)
 	for _, d := range c.docs {
-		if !Matches(d, filter) {
+		if !storage.Matches(d, filter) {
 			continue
 		}
-		v, ok := lookup(d, key)
+		v, ok := storage.Lookup(d, key)
 		if !ok {
 			continue
 		}
 		k := fmt.Sprintf("%T:%v", v, v)
 		if !seen[k] {
 			seen[k] = true
-			out = append(out, v)
+			out = append(out, storage.CloneValue(v))
 		}
 	}
 	return out
 }
 
-func docsMatchOnKeys(a, b Doc, keys []string) bool {
-	for _, k := range keys {
-		av, aok := lookup(a, k)
-		bv, bok := lookup(b, k)
-		if aok != bok || !valuesEqual(av, bv) {
-			return false
-		}
+// bumpNextID advances the id counter past a loaded document's
+// generated id, so reopened collections never reissue an id.
+func (c *collection) bumpNextID(id string) {
+	rest, ok := strings.CutPrefix(id, c.name+"-")
+	if !ok {
+		return
 	}
-	return true
-}
-
-func copyDoc(d Doc) Doc {
-	cp := make(Doc, len(d))
-	for k, v := range d {
-		cp[k] = v
+	if n, err := strconv.ParseInt(rest, 10, 64); err == nil && n > c.nextID {
+		c.nextID = n
 	}
-	return cp
 }

@@ -145,15 +145,15 @@ func TestUpdateOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !c.UpdateOne(Doc{"_id": id}, Doc{"status": "running", "host": "sim0"}) {
-		t.Fatal("UpdateOne found nothing")
+	if ok, err := c.UpdateOne(Doc{"_id": id}, Doc{"status": "running", "host": "sim0"}); err != nil || !ok {
+		t.Fatalf("UpdateOne found nothing (ok=%v err=%v)", ok, err)
 	}
 	got := c.FindOne(Doc{"_id": id})
 	if got["status"] != "running" || got["host"] != "sim0" {
 		t.Fatalf("after update: %v", got)
 	}
-	if c.UpdateOne(Doc{"_id": "nope"}, Doc{"status": "x"}) {
-		t.Fatal("UpdateOne matched a nonexistent doc")
+	if ok, err := c.UpdateOne(Doc{"_id": "nope"}, Doc{"status": "x"}); err != nil || ok {
+		t.Fatalf("UpdateOne matched a nonexistent doc (ok=%v err=%v)", ok, err)
 	}
 }
 

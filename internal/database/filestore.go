@@ -1,55 +1,60 @@
 package database
 
 import (
-	"crypto/md5"
-	"encoding/hex"
+	"encoding/base64"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"gem5art/internal/database/storage"
 )
 
 // chunkSize mirrors GridFS's default chunk size (255 KiB). Files larger
-// than this are split across multiple chunks.
+// than this are split across multiple in-memory chunks.
 const chunkSize = 255 * 1024
 
-// FileStore stores binary blobs (disk images, kernels, results archives)
-// chunked and deduplicated by MD5 hash, mirroring how gem5art stores
-// artifact files in MongoDB's GridFS.
-type FileStore struct {
-	mu    sync.RWMutex
-	db    *DB
-	metas map[string]*FileMeta // keyed by hash
-	data  map[string][][]byte  // hash -> chunks
+// fileStore is the engine's content-addressed blob store. It implements
+// storage.FileStore. Blobs are held chunked in memory and — for
+// persistent stores — written through to <dir>/files/<hash>.blob as raw
+// bytes at Put time, so a crash never loses file content that Put has
+// returned for. Blobs written by older versions were base64-encoded;
+// load detects and decodes them transparently.
+type fileStore struct {
+	mu        sync.RWMutex
+	db        *DB
+	metas     map[string]*FileMeta // keyed by hash
+	data      map[string][][]byte  // hash -> chunks
+	persisted map[string]bool      // hashes already durable on disk
+	lastErr   error                // first write-through error, surfaced at Flush/Close
 }
 
-// FileMeta describes a stored file.
-type FileMeta struct {
-	Name   string
-	Hash   string // MD5 of the content, hex-encoded
-	Length int
-	Chunks int
-}
-
-func newFileStore(db *DB) *FileStore {
-	return &FileStore{
-		db:    db,
-		metas: make(map[string]*FileMeta),
-		data:  make(map[string][][]byte),
+func newFileStore(db *DB) *fileStore {
+	return &fileStore{
+		db:        db,
+		metas:     make(map[string]*FileMeta),
+		data:      make(map[string][][]byte),
+		persisted: make(map[string]bool),
 	}
 }
 
-// HashBytes returns the hex MD5 of data — the identity used for artifact
-// deduplication throughout gem5art.
-func HashBytes(data []byte) string {
-	sum := md5.Sum(data)
-	return hex.EncodeToString(sum[:])
+func (fs *fileStore) dir() string {
+	if fs.db.dir == "" {
+		return ""
+	}
+	return filepath.Join(fs.db.dir, "files")
 }
 
 // Put stores the file under its content hash. Storing identical content
 // twice is a no-op (the paper: a file is uploaded "unless it already
-// exists there"). It returns the content hash.
-func (fs *FileStore) Put(name string, data []byte) string {
+// exists there"). It returns the content hash. Write-through errors are
+// sticky and surfaced at the next Flush/Close — the content is always
+// retrievable in memory regardless.
+func (fs *fileStore) Put(name string, data []byte) string {
 	defer observeOp("file_put", time.Now())
 	hash := HashBytes(data)
 	fs.mu.Lock()
@@ -67,13 +72,23 @@ func (fs *FileStore) Put(name string, data []byte) string {
 		copy(chunk, data[off:end])
 		chunks = append(chunks, chunk)
 	}
-	fs.metas[hash] = &FileMeta{Name: name, Hash: hash, Length: len(data), Chunks: len(chunks)}
+	meta := &FileMeta{Name: name, Hash: hash, Length: len(data), Chunks: len(chunks)}
+	fs.metas[hash] = meta
 	fs.data[hash] = chunks
+	if dir := fs.dir(); dir != "" {
+		if err := writeBlob(dir, meta, data); err != nil {
+			if fs.lastErr == nil {
+				fs.lastErr = err
+			}
+		} else {
+			fs.persisted[hash] = true
+		}
+	}
 	return hash
 }
 
 // Get reassembles and returns the file with the given content hash.
-func (fs *FileStore) Get(hash string) ([]byte, error) {
+func (fs *fileStore) Get(hash string) ([]byte, error) {
 	defer observeOp("file_get", time.Now())
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
@@ -89,7 +104,7 @@ func (fs *FileStore) Get(hash string) ([]byte, error) {
 }
 
 // Exists reports whether content with the given hash is stored.
-func (fs *FileStore) Exists(hash string) bool {
+func (fs *fileStore) Exists(hash string) bool {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	_, ok := fs.metas[hash]
@@ -97,7 +112,7 @@ func (fs *FileStore) Exists(hash string) bool {
 }
 
 // Stat returns the metadata for a stored file.
-func (fs *FileStore) Stat(hash string) (FileMeta, bool) {
+func (fs *fileStore) Stat(hash string) (FileMeta, bool) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	m, ok := fs.metas[hash]
@@ -108,7 +123,7 @@ func (fs *FileStore) Stat(hash string) (FileMeta, bool) {
 }
 
 // List returns metadata for every stored file, sorted by name then hash.
-func (fs *FileStore) List() []FileMeta {
+func (fs *fileStore) List() []FileMeta {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	out := make([]FileMeta, 0, len(fs.metas))
@@ -125,7 +140,7 @@ func (fs *FileStore) List() []FileMeta {
 }
 
 // TotalBytes returns the total stored (deduplicated) content size.
-func (fs *FileStore) TotalBytes() int {
+func (fs *fileStore) TotalBytes() int {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	n := 0
@@ -133,4 +148,125 @@ func (fs *FileStore) TotalBytes() int {
 		n += m.Length
 	}
 	return n
+}
+
+// flushAll persists any blobs whose write-through failed or that were
+// stored while the database had no directory, and surfaces the first
+// sticky write error.
+func (fs *fileStore) flushAll() error {
+	dir := fs.dir()
+	if dir == "" {
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	err := fs.lastErr
+	fs.lastErr = nil
+	for hash, meta := range fs.metas {
+		if fs.persisted[hash] {
+			continue
+		}
+		var data []byte
+		for _, chunk := range fs.data[hash] {
+			data = append(data, chunk...)
+		}
+		if werr := writeBlob(dir, meta, data); werr != nil {
+			if err == nil {
+				err = werr
+			}
+			continue
+		}
+		fs.persisted[hash] = true
+	}
+	return err
+}
+
+// writeBlob writes a blob (raw bytes, atomically via tmp+rename) and
+// then its metadata. The blob lands first so a *.meta file always
+// refers to complete content.
+func writeBlob(dir string, meta *FileMeta, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, meta.Hash+".blob")
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, meta.Hash+".meta"), mj, 0o644)
+}
+
+// load restores blobs from dir. Current-format blobs are raw bytes;
+// blobs written by older versions are base64 text. The two are told
+// apart by hashing: content is stored under its own MD5, so the raw
+// bytes match meta.Hash iff the blob is current-format.
+func (fs *fileStore) load(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".meta") {
+			continue
+		}
+		mj, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		var meta FileMeta
+		if err := json.Unmarshal(mj, &meta); err != nil {
+			return err
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, meta.Hash+".blob"))
+		if err != nil {
+			return err
+		}
+		data := raw
+		if storage.HashBytes(raw) != meta.Hash {
+			dec, derr := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
+			if derr != nil || storage.HashBytes(dec) != meta.Hash {
+				return fmt.Errorf("database: blob %s does not match its hash", meta.Hash)
+			}
+			data = dec
+		}
+		var chunks [][]byte
+		for off := 0; off < len(data); off += chunkSize {
+			end := off + chunkSize
+			if end > len(data) {
+				end = len(data)
+			}
+			chunks = append(chunks, data[off:end:end])
+		}
+		m := meta
+		fs.mu.Lock()
+		fs.metas[meta.Hash] = &m
+		fs.data[meta.Hash] = chunks
+		// Already durable — a legacy base64 blob stays base64 on disk
+		// (reads handle it) rather than being rewritten on every open.
+		fs.persisted[meta.Hash] = true
+		fs.mu.Unlock()
+	}
+	return nil
 }

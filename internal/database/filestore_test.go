@@ -1,0 +1,80 @@
+package database
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileStoreReadsLegacyBase64Blobs: databases written before the raw
+// blob format stored base64 text; they must load transparently.
+func TestFileStoreReadsLegacyBase64Blobs(t *testing.T) {
+	dir := t.TempDir()
+	content := []byte("legacy vmlinux bytes")
+	hash := HashBytes(content)
+	files := filepath.Join(dir, "files")
+	if err := os.MkdirAll(files, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	enc := base64.StdEncoding.EncodeToString(content)
+	if err := os.WriteFile(filepath.Join(files, hash+".blob"), []byte(enc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := json.Marshal(FileMeta{Name: "vmlinux", Hash: hash, Length: len(content), Chunks: 1})
+	if err := os.WriteFile(filepath.Join(files, hash+".meta"), meta, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db := MustOpen(dir)
+	defer db.Close()
+	got, err := db.Files().Get(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("legacy blob read back as %q", got)
+	}
+	m, ok := db.Files().Stat(hash)
+	if !ok || m.Name != "vmlinux" {
+		t.Fatalf("legacy meta = %+v, %v", m, ok)
+	}
+	// The legacy blob must not be rewritten just because we opened it.
+	raw, err := os.ReadFile(filepath.Join(files, hash+".blob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, []byte(enc)) {
+		t.Fatal("open rewrote a legacy blob")
+	}
+}
+
+// TestFileStoreWritesRawBlobs: new blobs are written through at Put time
+// as raw bytes, durable before any Flush.
+func TestFileStoreWritesRawBlobs(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(dir)
+	content := []byte{0x7f, 'E', 'L', 'F', 0, 1, 2, 3} // binary, not base64-safe
+	hash := db.Files().Put("kernel", content)
+	raw, err := os.ReadFile(filepath.Join(dir, "files", hash+".blob"))
+	if err != nil {
+		t.Fatalf("blob not written through at Put: %v", err)
+	}
+	if !bytes.Equal(raw, content) {
+		t.Fatalf("blob on disk is %q, want raw bytes", raw)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := MustOpen(dir)
+	defer db2.Close()
+	got, err := db2.Files().Get(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("raw blob lost across reopen")
+	}
+}

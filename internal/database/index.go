@@ -1,0 +1,175 @@
+package database
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gem5art/internal/database/storage"
+)
+
+// uniqueIndex is a hash index over one unique key set: it maps the
+// canonical encoding of a document's values for the keys to the
+// document's position in the collection slice. It serves two jobs:
+// O(1) duplicate detection on insert/update, and O(1) equality lookups
+// for Find/FindOne/Count/UpdateOne filters that pin all of its keys.
+type uniqueIndex struct {
+	keys []string
+	pos  map[string]int
+}
+
+func newUniqueIndex(keys []string) *uniqueIndex {
+	return &uniqueIndex{keys: append([]string(nil), keys...), pos: make(map[string]int)}
+}
+
+// build indexes existing documents. Pre-existing duplicates are
+// tolerated (last position wins), matching how indexes have always
+// been installed over already-loaded collections.
+func (idx *uniqueIndex) build(docs []Doc) {
+	idx.pos = make(map[string]int, len(docs))
+	for i, d := range docs {
+		idx.pos[canonicalKey(d, idx.keys)] = i
+	}
+}
+
+// rebuildIndexesLocked recomputes every index after positions shifted
+// (deletions, journal replay). Caller holds c.mu.
+func (c *collection) rebuildIndexesLocked() {
+	c.byID = make(map[string]int, len(c.docs))
+	for i, d := range c.docs {
+		c.byID[fmt.Sprint(d["_id"])] = i
+	}
+	for _, idx := range c.uniques {
+		idx.build(c.docs)
+	}
+}
+
+// indexLookupLocked plans an index answer for filter. eligible reports
+// that the filter pins "_id" or every key of some unique index with
+// plain equality values, so the (at most one) candidate position fully
+// answers the query; found reports whether a candidate exists. Callers
+// must still verify the candidate with storage.Matches — the filter
+// may constrain additional keys (including operator expressions).
+// Caller holds c.mu (read or write).
+func (c *collection) indexLookupLocked(filter Doc) (pos int, found, eligible bool) {
+	if len(filter) == 0 {
+		return 0, false, false
+	}
+	if v, ok := filter["_id"]; ok {
+		if _, isOps := storage.OperatorDoc(v); !isOps {
+			p, hit := c.byID[fmt.Sprint(v)]
+			countIndexLookup(hit)
+			return p, hit, true
+		}
+	}
+	for _, idx := range c.uniques {
+		key, ok := filterKey(filter, idx.keys)
+		if !ok {
+			continue
+		}
+		p, hit := idx.pos[key]
+		countIndexLookup(hit)
+		return p, hit, true
+	}
+	dbFullScans.Inc()
+	return 0, false, false
+}
+
+// filterKey builds the canonical index key from a filter that names
+// every index key as a literal (non-operator) entry. ok is false when
+// a key is absent from the filter, carries an operator expression, or
+// a value cannot be canonically encoded.
+func filterKey(filter Doc, keys []string) (string, bool) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v, ok := filter[k]
+		if !ok {
+			return "", false
+		}
+		if _, isOps := storage.OperatorDoc(v); isOps {
+			return "", false
+		}
+		if !encodeValue(&sb, v) {
+			return "", false
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String(), true
+}
+
+// canonicalKey encodes a document's values for the index keys. Missing
+// keys encode as a dedicated token (two documents both missing a key
+// collide, exactly as the scan-based duplicate check always treated
+// them). A value that cannot be canonically encoded makes the document
+// non-colliding: the scan semantics never consider such values equal,
+// so the entry is keyed by the document's own id.
+func canonicalKey(d Doc, keys []string) string {
+	var sb strings.Builder
+	for _, k := range keys {
+		v, ok := storage.Lookup(d, k)
+		if !ok {
+			sb.WriteString("m;")
+			continue
+		}
+		if !encodeValue(&sb, v) {
+			return "\x00doc:" + fmt.Sprint(d["_id"])
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// encodeValue appends a canonical encoding of v such that two values
+// encode identically iff storage.ValuesEqual holds: all numeric types
+// widen to float64, map keys are sorted, strings are quoted so
+// delimiters cannot collide. Returns false for types ValuesEqual never
+// considers equal.
+func encodeValue(sb *strings.Builder, v any) bool {
+	if f, ok := storage.ToFloat(v); ok {
+		sb.WriteString("n:")
+		sb.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		return true
+	}
+	switch t := v.(type) {
+	case string:
+		sb.WriteString("s:")
+		sb.WriteString(strconv.Quote(t))
+		return true
+	case bool:
+		sb.WriteString("b:")
+		sb.WriteString(strconv.FormatBool(t))
+		return true
+	case nil:
+		sb.WriteString("z")
+		return true
+	case []any:
+		sb.WriteString("a[")
+		for _, e := range t {
+			if !encodeValue(sb, e) {
+				return false
+			}
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(']')
+		return true
+	case map[string]any:
+		ks := make([]string, 0, len(t))
+		for k := range t {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		sb.WriteString("d{")
+		for _, k := range ks {
+			sb.WriteString(strconv.Quote(k))
+			sb.WriteByte('=')
+			if !encodeValue(sb, t[k]) {
+				return false
+			}
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('}')
+		return true
+	}
+	return false
+}

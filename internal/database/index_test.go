@@ -1,0 +1,163 @@
+package database
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIndexedFindOne(t *testing.T) {
+	db := MustOpen("")
+	c := db.Collection("artifacts")
+	c.CreateUniqueIndex("hash")
+	for i := 0; i < 100; i++ {
+		if _, err := c.InsertOne(Doc{"hash": fmt.Sprintf("h%02d", i), "size": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.FindOne(Doc{"hash": "h42"})
+	if got == nil || got["size"] != 42 {
+		t.Fatalf("indexed FindOne = %v", got)
+	}
+	if c.FindOne(Doc{"hash": "h99x"}) != nil {
+		t.Fatal("indexed FindOne matched a missing key")
+	}
+	// The index answers the lookup, but extra filter keys — including
+	// operator expressions — must still be verified on the candidate.
+	if d := c.FindOne(Doc{"hash": "h42", "size": Doc{"$gte": 42}}); d == nil {
+		t.Fatal("index candidate rejected despite matching extra filter")
+	}
+	if d := c.FindOne(Doc{"hash": "h42", "size": Doc{"$gt": 42}}); d != nil {
+		t.Fatalf("index candidate %v passed a failing extra filter", d)
+	}
+	// An operator expression on the indexed key itself cannot use the
+	// hash index and must fall back to a scan — and still be correct.
+	if n := c.Count(Doc{"hash": Doc{"$in": []any{"h01", "h02", "nope"}}}); n != 2 {
+		t.Fatalf("operator filter on indexed key counted %d, want 2", n)
+	}
+}
+
+func TestIDLookup(t *testing.T) {
+	db := MustOpen("")
+	c := db.Collection("runs")
+	var ids []string
+	for i := 0; i < 50; i++ {
+		id, err := c.InsertOne(Doc{"seq": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if d := c.FindOne(Doc{"_id": ids[7]}); d == nil || d["seq"] != 7 {
+		t.Fatalf("_id lookup = %v", d)
+	}
+	if c.FindOne(Doc{"_id": "runs-9999"}) != nil {
+		t.Fatal("_id lookup matched a missing id")
+	}
+	if n := c.Count(Doc{"_id": ids[3]}); n != 1 {
+		t.Fatalf("_id Count = %d", n)
+	}
+	if got := c.Find(Doc{"_id": ids[3], "seq": 4}); got != nil {
+		t.Fatalf("_id candidate %v passed a failing extra filter", got)
+	}
+}
+
+func TestUpdateOneRespectsUniqueIndex(t *testing.T) {
+	db := MustOpen("")
+	c := db.Collection("artifacts")
+	c.CreateUniqueIndex("hash")
+	idA, err := c.InsertOne(Doc{"hash": "aaa", "name": "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InsertOne(Doc{"hash": "bbb", "name": "b"}); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.UpdateOne(Doc{"_id": idA}, Doc{"hash": "bbb"})
+	var dup *ErrDuplicate
+	if !errors.As(err, &dup) {
+		t.Fatalf("UpdateOne onto a taken key = (%v, %v), want *ErrDuplicate", ok, err)
+	}
+	if d := c.FindOne(Doc{"_id": idA}); d["hash"] != "aaa" {
+		t.Fatalf("rejected update mutated the document: %v", d)
+	}
+	// Updating a doc onto its own key (no-op rekey) must succeed.
+	if ok, err := c.UpdateOne(Doc{"_id": idA}, Doc{"hash": "aaa", "name": "a2"}); err != nil || !ok {
+		t.Fatalf("self-rekey update = (%v, %v)", ok, err)
+	}
+	// A legal rekey frees the old key and claims the new one.
+	if ok, err := c.UpdateOne(Doc{"_id": idA}, Doc{"hash": "ccc"}); err != nil || !ok {
+		t.Fatalf("rekey update = (%v, %v)", ok, err)
+	}
+	if _, err := c.InsertOne(Doc{"hash": "aaa"}); err != nil {
+		t.Fatalf("freed key still held: %v", err)
+	}
+	if _, err := c.InsertOne(Doc{"hash": "ccc"}); err == nil {
+		t.Fatal("claimed key not enforced")
+	}
+	if d := c.FindOne(Doc{"hash": "ccc"}); d == nil || d["_id"] != idA {
+		t.Fatalf("index lookup after rekey = %v", d)
+	}
+}
+
+func TestIndexSurvivesDeletions(t *testing.T) {
+	db := MustOpen("")
+	c := db.Collection("artifacts")
+	c.CreateUniqueIndex("hash")
+	for i := 0; i < 20; i++ {
+		if _, err := c.InsertOne(Doc{"hash": fmt.Sprintf("h%d", i), "even": i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.DeleteMany(Doc{"even": true}); n != 10 {
+		t.Fatalf("deleted %d", n)
+	}
+	// Positions shifted; indexed lookups must still land on the right docs.
+	for i := 0; i < 20; i++ {
+		d := c.FindOne(Doc{"hash": fmt.Sprintf("h%d", i)})
+		if i%2 == 0 && d != nil {
+			t.Fatalf("deleted doc still indexed: %v", d)
+		}
+		if i%2 == 1 && (d == nil || d["hash"] != fmt.Sprintf("h%d", i)) {
+			t.Fatalf("surviving doc h%d lookup = %v", i, d)
+		}
+	}
+	// Deleted keys are reclaimable.
+	if _, err := c.InsertOne(Doc{"hash": "h0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDocumentsAreDeepCopied(t *testing.T) {
+	db := MustOpen("")
+	c := db.Collection("runs")
+	orig := Doc{"params": map[string]any{"cpu": "timing"}, "tags": []any{"boot"}}
+	id, err := c.InsertOne(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's document after insert must not reach the store.
+	orig["params"].(map[string]any)["cpu"] = "atomic"
+	orig["tags"].([]any)[0] = "hacked"
+	got := c.FindOne(Doc{"_id": id})
+	if got["params"].(map[string]any)["cpu"] != "timing" {
+		t.Fatal("insert shared nested map with caller")
+	}
+	if got["tags"].([]any)[0] != "boot" {
+		t.Fatal("insert shared nested slice with caller")
+	}
+	// Mutating a query result must not reach the store either.
+	got["params"].(map[string]any)["cpu"] = "o3"
+	if c.FindOne(Doc{"_id": id})["params"].(map[string]any)["cpu"] != "timing" {
+		t.Fatal("query result shared nested map with store")
+	}
+	// And the set document passed to UpdateOne is isolated too.
+	set := Doc{"meta": map[string]any{"host": "sim0"}}
+	if ok, err := c.UpdateOne(Doc{"_id": id}, set); err != nil || !ok {
+		t.Fatalf("UpdateOne = (%v, %v)", ok, err)
+	}
+	set["meta"].(map[string]any)["host"] = "evil"
+	if c.FindOne(Doc{"_id": id})["meta"].(map[string]any)["host"] != "sim0" {
+		t.Fatal("UpdateOne shared the set document with caller")
+	}
+}

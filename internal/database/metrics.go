@@ -19,3 +19,34 @@ var dbOpDuration = telemetry.Default.HistogramVec("gem5art_db_op_duration_second
 func observeOp(op string, start time.Time) {
 	dbOpDuration.With(op).Observe(time.Since(start).Seconds())
 }
+
+// Journal and index health, surfaced through /metrics so a long sweep's
+// storage behavior (journal growth, compaction cadence, replay cost,
+// scan avoidance) is observable without instrumenting the client.
+var (
+	dbJournalRecords = telemetry.Default.CounterVec("gem5art_db_journal_records_total",
+		"journal records appended, by operation kind", "op")
+	dbJournalBytes = telemetry.Default.GaugeVec("gem5art_db_journal_bytes",
+		"current journal size in bytes, by collection", "collection")
+	dbCompactions = telemetry.Default.CounterVec("gem5art_db_compactions_total",
+		"journal compactions folded into snapshots, by collection", "collection")
+	dbReplaySeconds = telemetry.Default.Gauge("gem5art_db_replay_seconds",
+		"wall time of the last database open, including journal replay")
+	dbReplayedRecords = telemetry.Default.Counter("gem5art_db_replayed_records_total",
+		"journal records replayed at startup")
+	dbCollectionReplaySeconds = telemetry.Default.GaugeVec("gem5art_db_collection_replay_seconds",
+		"journal replay time of the last open, by collection", "collection")
+	dbIndexLookups = telemetry.Default.CounterVec("gem5art_db_index_lookups_total",
+		"queries answered from a hash index, by outcome", "result")
+	dbFullScans = telemetry.Default.Counter("gem5art_db_full_scans_total",
+		"queries answered by scanning the collection")
+)
+
+// countIndexLookup records one index-served query.
+func countIndexLookup(hit bool) {
+	if hit {
+		dbIndexLookups.With("hit").Inc()
+	} else {
+		dbIndexLookups.With("miss").Inc()
+	}
+}

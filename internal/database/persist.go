@@ -2,168 +2,217 @@ package database
 
 import (
 	"bufio"
-	"encoding/base64"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // On-disk layout under the database directory:
 //
-//	<dir>/collections/<name>.jsonl  — one JSON document per line
-//	<dir>/files/<hash>.blob         — base64 of the file content
+//	<dir>/collections/<name>.jsonl  — snapshot: one JSON document per line
+//	<dir>/journal/<name>.wal        — append-only journal since the snapshot
+//	<dir>/files/<hash>.blob         — raw file content
 //	<dir>/files/<hash>.meta         — JSON FileMeta
 //
-// The format is intentionally line-oriented and human-inspectable, in the
-// spirit of gem5art's "freely available tools may be used to process this
-// data".
+// The formats are line-oriented and human-inspectable, in the spirit
+// of gem5art's "freely available tools may be used to process this
+// data". Blobs written by older versions were base64-encoded; they are
+// still read transparently (see fileStore.load).
 
-// Flush writes all collections and files to the database directory.
+// Flush compacts every collection — snapshot written atomically, then
+// the journal truncated — and persists any unwritten file blobs. With
+// the journal enabled Flush is never required for durability; it is
+// the explicit "fold history into snapshots now" operation.
 func (db *DB) Flush() error {
 	if db.dir == "" {
 		return nil
 	}
-	colDir := filepath.Join(db.dir, "collections")
-	if err := os.MkdirAll(colDir, 0o755); err != nil {
-		return err
-	}
-	db.mu.RLock()
-	cols := make([]*Collection, 0, len(db.collections))
-	for _, c := range db.collections {
-		cols = append(cols, c)
-	}
-	db.mu.RUnlock()
-	for _, c := range cols {
-		if err := c.flush(colDir); err != nil {
+	for _, c := range db.snapshot() {
+		c.mu.Lock()
+		err := c.flushLocked()
+		c.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
-	return db.files.flush(filepath.Join(db.dir, "files"))
+	return db.files.flushAll()
 }
 
-func (c *Collection) flush(dir string) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	var sb strings.Builder
+// flushLocked snapshots the collection and truncates/removes its
+// journal. Caller holds c.mu.
+func (c *collection) flushLocked() error {
+	if c.journal != nil && c.journal.err != nil {
+		return c.journal.err
+	}
+	if err := c.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	if c.journal != nil {
+		if err := c.journal.reset(); err != nil {
+			return err
+		}
+		dbJournalBytes.With(c.name).Set(0)
+		return nil
+	}
+	// Snapshot-mode store: a wal left behind by a journaled session is
+	// now folded into the snapshot and must not replay again.
+	if err := os.Remove(journalPath(c.db.dir, c.name)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// writeSnapshotLocked writes the collection snapshot atomically:
+// marshal to a temp file, fsync, rename over the final name. Caller
+// holds c.mu.
+func (c *collection) writeSnapshotLocked() error {
+	dir := filepath.Join(c.db.dir, "collections")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
 	for _, d := range c.docs {
 		line, err := json.Marshal(d)
 		if err != nil {
 			return fmt.Errorf("database: marshal doc in %s: %w", c.name, err)
 		}
-		sb.Write(line)
-		sb.WriteByte('\n')
+		buf.Write(line)
+		buf.WriteByte('\n')
 	}
-	return os.WriteFile(filepath.Join(dir, c.name+".jsonl"), []byte(sb.String()), 0o644)
-}
-
-func (fs *FileStore) flush(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	for hash, meta := range fs.metas {
-		metaPath := filepath.Join(dir, hash+".meta")
-		if _, err := os.Stat(metaPath); err == nil {
-			continue // blobs are content-addressed and immutable
-		}
-		var data []byte
-		for _, chunk := range fs.data[hash] {
-			data = append(data, chunk...)
-		}
-		enc := base64.StdEncoding.EncodeToString(data)
-		if err := os.WriteFile(filepath.Join(dir, hash+".blob"), []byte(enc), 0o644); err != nil {
-			return err
-		}
-		mj, err := json.Marshal(meta)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(metaPath, mj, 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (db *DB) load() error {
-	colDir := filepath.Join(db.dir, "collections")
-	entries, err := os.ReadDir(colDir)
+	final := filepath.Join(dir, c.name+".jsonl")
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil // fresh database
-		}
 		return err
 	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
-			continue
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// load restores the database: snapshots first, then journal replay on
+// top, then the file store.
+func (db *DB) load() error {
+	names := make(map[string]bool)
+	colDir := filepath.Join(db.dir, "collections")
+	if entries, err := os.ReadDir(colDir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".jsonl") {
+				names[strings.TrimSuffix(e.Name(), ".jsonl")] = true
+			}
 		}
-		name := strings.TrimSuffix(e.Name(), ".jsonl")
-		if err := db.loadCollection(name, filepath.Join(colDir, e.Name())); err != nil {
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	// A collection may exist only in the journal (created after the
+	// last compaction — or never compacted at all).
+	if entries, err := os.ReadDir(filepath.Join(db.dir, "journal")); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+				names[strings.TrimSuffix(e.Name(), ".wal")] = true
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for name := range names {
+		if err := db.loadCollection(name, filepath.Join(colDir, name+".jsonl")); err != nil {
 			return err
 		}
 	}
 	return db.files.load(filepath.Join(db.dir, "files"))
 }
 
-func (db *DB) loadCollection(name, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	c := db.Collection(name)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		var d Doc
-		if err := json.Unmarshal([]byte(line), &d); err != nil {
-			return fmt.Errorf("database: load %s: %w", name, err)
-		}
-		c.mu.Lock()
-		c.docs = append(c.docs, d)
-		c.nextID++
-		c.mu.Unlock()
-	}
-	return sc.Err()
-}
+// loadCollection restores one collection: snapshot lines, then journal
+// records, then index rebuild, then (in journal mode) the writer is
+// attached positioned after the journal's valid prefix.
+func (db *DB) loadCollection(name, snapshotPath string) error {
+	c := db.collection(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 
-func (fs *FileStore) load(dir string) error {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
+	if f, err := os.Open(snapshotPath); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var d Doc
+			if err := json.Unmarshal([]byte(line), &d); err != nil {
+				f.Close()
+				return fmt.Errorf("database: load %s: %w", name, err)
+			}
+			c.docs = append(c.docs, d)
 		}
+		err := sc.Err()
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
 		return err
 	}
-	for _, e := range entries {
-		if !strings.HasSuffix(e.Name(), ".meta") {
-			continue
-		}
-		mj, err := os.ReadFile(filepath.Join(dir, e.Name()))
+	c.byID = make(map[string]int, len(c.docs))
+	for i, d := range c.docs {
+		id := fmt.Sprint(d["_id"])
+		c.byID[id] = i
+		c.bumpNextID(id)
+	}
+
+	walPath := journalPath(db.dir, name)
+	start := time.Now()
+	recs, goodBytes, err := replayJournal(walPath)
+	if err != nil {
+		return fmt.Errorf("database: replay %s: %w", name, err)
+	}
+	for _, rec := range recs {
+		c.applyRecordLocked(rec)
+	}
+	if len(recs) > 0 {
+		dbReplayedRecords.Add(float64(len(recs)))
+		dbCollectionReplaySeconds.With(name).Set(time.Since(start).Seconds())
+	}
+	c.rebuildIndexesLocked()
+	for _, d := range c.docs {
+		c.bumpNextID(fmt.Sprint(d["_id"]))
+	}
+
+	if db.opts.Journal {
+		w, err := openJournalWriter(walPath, goodBytes, len(recs), db.opts.SyncOnCommit)
 		if err != nil {
-			return err
+			return fmt.Errorf("database: journal %s: %w", name, err)
 		}
-		var meta FileMeta
-		if err := json.Unmarshal(mj, &meta); err != nil {
-			return err
-		}
-		bj, err := os.ReadFile(filepath.Join(dir, meta.Hash+".blob"))
-		if err != nil {
-			return err
-		}
-		data, err := base64.StdEncoding.DecodeString(string(bj))
-		if err != nil {
-			return err
-		}
-		fs.Put(meta.Name, data)
+		c.journal = w
+		dbJournalBytes.With(name).Set(float64(goodBytes))
 	}
 	return nil
+}
+
+// ensureJournal lazily attaches a journal writer to a collection that
+// was created after open (no on-disk state yet). Caller holds c.mu.
+func (c *collection) ensureJournal() {
+	if c.journal != nil || c.db.dir == "" || !c.db.opts.Journal {
+		return
+	}
+	w, err := openJournalWriter(journalPath(c.db.dir, c.name), 0, 0, c.db.opts.SyncOnCommit)
+	if err != nil {
+		// Surfaced at the next Flush/Close via a placeholder writer.
+		w = &journalWriter{err: fmt.Errorf("database: journal %s: %w", c.name, err)}
+	}
+	c.journal = w
 }

@@ -3,9 +3,11 @@ package database
 import (
 	"testing"
 	"testing/quick"
+
+	"gem5art/internal/database/storage"
 )
 
-func seeded(t *testing.T) *Collection {
+func seeded(t *testing.T) Collection {
 	t.Helper()
 	db := MustOpen("")
 	c := db.Collection("runs")
@@ -112,8 +114,8 @@ func TestFindWithSortPreservesSetProperty(t *testing.T) {
 			return false
 		}
 		for i := 1; i < len(sorted); i++ {
-			a, _ := toFloat(sorted[i-1]["v"])
-			b, _ := toFloat(sorted[i]["v"])
+			a, _ := storage.ToFloat(sorted[i-1]["v"])
+			b, _ := storage.ToFloat(sorted[i]["v"])
 			if a > b {
 				return false
 			}

@@ -1,11 +1,11 @@
-package database
+package storage
 
 import (
 	"strings"
 )
 
-// Matches reports whether document d satisfies filter. Filter semantics are
-// the MongoDB subset gem5art uses:
+// Matches reports whether document d satisfies filter. Filter semantics
+// are the MongoDB subset gem5art uses:
 //
 //   - {"k": v}            — equality (v may be a nested Doc for exact match)
 //   - {"a.b": v}          — dotted keys traverse nested documents
@@ -14,26 +14,29 @@ import (
 //   - {"k": {"$exists": b}} — field presence
 //   - {"k": {"$contains": s}} — substring match on string fields
 //
-// Multiple filter entries are ANDed.
+// Multiple filter entries are ANDed. Every engine must implement
+// exactly these semantics; the function is shared so they cannot drift.
 func Matches(d Doc, filter Doc) bool {
 	for k, want := range filter {
-		got, ok := lookup(d, k)
-		if ops, isOps := operatorDoc(want); isOps {
+		got, ok := Lookup(d, k)
+		if ops, isOps := OperatorDoc(want); isOps {
 			if !matchOps(got, ok, ops) {
 				return false
 			}
 			continue
 		}
-		if !ok || !valuesEqual(got, want) {
+		if !ok || !ValuesEqual(got, want) {
 			return false
 		}
 	}
 	return true
 }
 
-// operatorDoc reports whether v is a document whose keys are all operators
-// (begin with '$'), returning it as a Doc when so.
-func operatorDoc(v any) (Doc, bool) {
+// OperatorDoc reports whether v is a document whose keys are all
+// operators (begin with '$'), returning it as a Doc when so. Engines
+// use it to decide whether a filter entry is a plain equality (index
+// eligible) or an operator expression (scan only).
+func OperatorDoc(v any) (Doc, bool) {
 	m, ok := v.(map[string]any)
 	if !ok || len(m) == 0 {
 		return nil, false
@@ -55,7 +58,7 @@ func matchOps(got any, present bool, ops Doc) bool {
 				return false
 			}
 		case "$ne":
-			if present && valuesEqual(got, arg) {
+			if present && ValuesEqual(got, arg) {
 				return false
 			}
 		case "$in":
@@ -68,7 +71,7 @@ func matchOps(got any, present bool, ops Doc) bool {
 			}
 			found := false
 			for _, it := range items {
-				if valuesEqual(got, it) {
+				if ValuesEqual(got, it) {
 					found = true
 					break
 				}
@@ -80,7 +83,7 @@ func matchOps(got any, present bool, ops Doc) bool {
 			if !present {
 				return false
 			}
-			cmp, ok := compareValues(got, arg)
+			cmp, ok := CompareValues(got, arg)
 			if !ok {
 				return false
 			}
@@ -115,8 +118,8 @@ func matchOps(got any, present bool, ops Doc) bool {
 	return true
 }
 
-// lookup resolves a possibly dotted key against a document.
-func lookup(d Doc, key string) (any, bool) {
+// Lookup resolves a possibly dotted key against a document.
+func Lookup(d Doc, key string) (any, bool) {
 	parts := strings.Split(key, ".")
 	var cur any = map[string]any(d)
 	for _, p := range parts {
@@ -132,11 +135,11 @@ func lookup(d Doc, key string) (any, bool) {
 	return cur, true
 }
 
-// valuesEqual compares two document values, treating all numeric types as
-// comparable (JSON round-trips turn ints into float64).
-func valuesEqual(a, b any) bool {
-	if af, aok := toFloat(a); aok {
-		bf, bok := toFloat(b)
+// ValuesEqual compares two document values, treating all numeric types
+// as comparable (JSON round-trips turn ints into float64).
+func ValuesEqual(a, b any) bool {
+	if af, aok := ToFloat(a); aok {
+		bf, bok := ToFloat(b)
 		return bok && af == bf
 	}
 	switch av := a.(type) {
@@ -154,7 +157,7 @@ func valuesEqual(a, b any) bool {
 			return false
 		}
 		for i := range av {
-			if !valuesEqual(av[i], bv[i]) {
+			if !ValuesEqual(av[i], bv[i]) {
 				return false
 			}
 		}
@@ -166,7 +169,7 @@ func valuesEqual(a, b any) bool {
 		}
 		for k, v := range av {
 			bvv, ok := bv[k]
-			if !ok || !valuesEqual(v, bvv) {
+			if !ok || !ValuesEqual(v, bvv) {
 				return false
 			}
 		}
@@ -175,11 +178,11 @@ func valuesEqual(a, b any) bool {
 	return false
 }
 
-// compareValues orders two values when they are both numbers or both
+// CompareValues orders two values when they are both numbers or both
 // strings. ok is false for incomparable values.
-func compareValues(a, b any) (cmp int, ok bool) {
-	if af, aok := toFloat(a); aok {
-		bf, bok := toFloat(b)
+func CompareValues(a, b any) (cmp int, ok bool) {
+	if af, aok := ToFloat(a); aok {
+		bf, bok := ToFloat(b)
 		if !bok {
 			return 0, false
 		}
@@ -200,7 +203,8 @@ func compareValues(a, b any) (cmp int, ok bool) {
 	return 0, false
 }
 
-func toFloat(v any) (float64, bool) {
+// ToFloat widens any numeric document value to float64.
+func ToFloat(v any) (float64, bool) {
 	switch n := v.(type) {
 	case float64:
 		return n, true

@@ -1,4 +1,4 @@
-package database
+package storage
 
 import "sort"
 
@@ -18,13 +18,14 @@ type FindOptions struct {
 	Fields []string
 }
 
-// FindWith returns matching documents refined by opts.
-func (c *Collection) FindWith(filter Doc, opts FindOptions) []Doc {
-	docs := c.Find(filter)
+// ApplyFindOptions refines an already-materialized result set. Engines
+// share it so sort/skip/limit/projection behave identically everywhere.
+// The input slice is modified in place (sorting) and sliced.
+func ApplyFindOptions(docs []Doc, opts FindOptions) []Doc {
 	if opts.SortBy != "" {
 		sort.SliceStable(docs, func(i, j int) bool {
-			av, aok := lookup(docs[i], opts.SortBy)
-			bv, bok := lookup(docs[j], opts.SortBy)
+			av, aok := Lookup(docs[i], opts.SortBy)
+			bv, bok := Lookup(docs[j], opts.SortBy)
 			if aok != bok {
 				// Present values sort before missing ones.
 				less := aok
@@ -33,7 +34,7 @@ func (c *Collection) FindWith(filter Doc, opts FindOptions) []Doc {
 				}
 				return less
 			}
-			cmp, ok := compareValues(av, bv)
+			cmp, ok := CompareValues(av, bv)
 			if !ok {
 				return false
 			}
@@ -60,7 +61,7 @@ func (c *Collection) FindWith(filter Doc, opts FindOptions) []Doc {
 				p["_id"] = id
 			}
 			for _, f := range opts.Fields {
-				if v, ok := lookup(d, f); ok {
+				if v, ok := Lookup(d, f); ok {
 					p[f] = v
 				}
 			}
@@ -71,7 +72,7 @@ func (c *Collection) FindWith(filter Doc, opts FindOptions) []Doc {
 	return docs
 }
 
-// Aggregate computes a numeric summary of key across matching documents.
+// Aggregate computes a numeric summary of one key across documents.
 type Aggregate struct {
 	Count int
 	Sum   float64
@@ -87,16 +88,16 @@ func (a Aggregate) Mean() float64 {
 	return a.Sum / float64(a.Count)
 }
 
-// AggregateKey summarizes the numeric values of key over matching
-// documents; non-numeric and missing values are skipped.
-func (c *Collection) AggregateKey(filter Doc, key string) Aggregate {
+// AggregateDocs summarizes the numeric values of key over docs;
+// non-numeric and missing values are skipped.
+func AggregateDocs(docs []Doc, key string) Aggregate {
 	var agg Aggregate
-	for _, d := range c.Find(filter) {
-		v, ok := lookup(d, key)
+	for _, d := range docs {
+		v, ok := Lookup(d, key)
 		if !ok {
 			continue
 		}
-		f, ok := toFloat(v)
+		f, ok := ToFloat(v)
 		if !ok {
 			continue
 		}

@@ -26,14 +26,14 @@ import (
 type Server struct {
 	Registry *telemetry.Registry
 	Bus      *telemetry.EventBus
-	DB       *database.DB
+	DB       database.Store
 	Broker   *tasks.Broker
 	Start    time.Time
 }
 
 // New returns a server over the process defaults (telemetry.Default,
 // telemetry.Bus) and the given database, which may be nil.
-func New(db *database.DB) *Server {
+func New(db database.Store) *Server {
 	return &Server{
 		Registry: telemetry.Default,
 		Bus:      telemetry.Bus,
