@@ -14,15 +14,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs both gem5bench suites:
+# bench runs the gem5bench suites:
 #   telemetry — event-loop instrumentation overhead (budget: <5%),
 #     written to BENCH_telemetry.json;
 #   storage — journaled insert cost, indexed-vs-scan FindOne (required:
 #     >=5x at 10k docs), journal-vs-snapshot persistence, written to
-#     BENCH_storage.json.
-# Exits non-zero if either suite misses its budget.
+#     BENCH_storage.json;
+#   cache — cold vs warm launch of an identical hack-back matrix through
+#     the simulation cache (required: warm >=5x faster, exactly one boot
+#     per boot class), written to BENCH_cache.json.
+# Exits non-zero if any suite misses its budget.
 bench:
 	$(GO) run ./cmd/gem5bench -suite telemetry -out BENCH_telemetry.json
 	$(GO) run ./cmd/gem5bench -suite storage -out BENCH_storage.json
+	$(GO) run ./cmd/gem5bench -suite cache -out BENCH_cache.json
 
 ci: build vet race

@@ -22,12 +22,15 @@ import (
 	"time"
 
 	"gem5art/internal/core/launch"
+	"gem5art/internal/core/run"
 	"gem5art/internal/core/tasks"
 	"gem5art/internal/database"
 	"gem5art/internal/experiments"
 	"gem5art/internal/sim/kernel"
+	"gem5art/internal/simcache"
 	"gem5art/internal/statusd"
 	"gem5art/internal/telemetry"
+	"gem5art/internal/workloads"
 )
 
 func main() {
@@ -84,6 +87,9 @@ func useCase(args []string, fn func(caseOpts) error) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel simulations")
 	quick := fs.Bool("quick", false, "run a reduced sweep")
 	retries := fs.Int("retries", 1, "attempts per run (>1 retries transient failures with backoff)")
+	cacheOn := fs.Bool("cache", true,
+		"memoize identical runs and share boot checkpoints through the simulation cache")
+	noCache := fs.Bool("no-cache", false, "disable the simulation cache (overrides -cache)")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve the status/metrics daemon on this address while the sweep runs (e.g. 127.0.0.1:7788)")
 	if err := fs.Parse(args); err != nil {
@@ -94,12 +100,17 @@ func useCase(args []string, fn func(caseOpts) error) error {
 		return err
 	}
 	defer env.DB().Close()
+	if *cacheOn && !*noCache {
+		env.Cache = simcache.New(env.DB(), simcache.Options{})
+	}
 	if *metricsAddr != "" {
-		bound, _, err := statusd.ListenAndServe(*metricsAddr, statusd.New(env.DB()))
+		sd := statusd.New(env.DB())
+		sd.Cache = env.Cache
+		bound, _, err := statusd.ListenAndServe(*metricsAddr, sd)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("status daemon on http://%s (/metrics, /api/runs, /api/events)\n", bound)
+		fmt.Printf("status daemon on http://%s (/metrics, /api/runs, /api/cache, /api/events)\n", bound)
 	}
 	if *retries > 1 {
 		rp := tasks.DefaultRetryPolicy()
@@ -110,9 +121,23 @@ func useCase(args []string, fn func(caseOpts) error) error {
 	if err := fn(caseOpts{env: env, workers: *workers, quick: *quick}); err != nil {
 		return err
 	}
-	fmt.Printf("\ncompleted in %v; %s%s\n", time.Since(start).Round(time.Millisecond),
-		launch.Summarize(env.DB()), telemetryTotals())
+	fmt.Printf("\ncompleted in %v; %s%s%s\n", time.Since(start).Round(time.Millisecond),
+		launch.Summarize(env.DB()), telemetryTotals(), cacheTotals(env.Cache))
 	return nil
+}
+
+// cacheTotals renders the simulation cache's hit/miss line for the
+// end-of-sweep summary. Empty when the cache is off or untouched.
+func cacheTotals(c *simcache.Cache) string {
+	if c == nil {
+		return ""
+	}
+	st := c.Stats()
+	if st.HitsMemory+st.HitsPersistent+st.Misses+st.Boots+st.BootsShared == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" cache[hits=%d misses=%d dedup=%d boots=%d shared_boots=%d]",
+		st.HitsMemory+st.HitsPersistent, st.Misses, st.Dedups, st.Boots, st.BootsShared)
 }
 
 // telemetryTotals renders the process-wide retry/revocation counters for
@@ -240,11 +265,15 @@ func artifactsCmd(args []string) error {
 }
 
 // distributeCmd demonstrates the Celery-style path: it starts a broker,
-// waits for gem5worker connections, fans the quick boot sweep out to
-// them, and prints the outcomes.
+// waits for gem5worker connections, fans a job suite out to them, and
+// prints the outcomes. The boot suite ships self-contained boot cells;
+// the hackback suite boots one shared checkpoint on the launcher and
+// the workers restore it — by hash through the status daemon's cache
+// endpoint when -metrics-addr is set, inline in the payload otherwise.
 func distributeCmd(args []string) error {
 	fs := flag.NewFlagSet("distribute", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7733", "broker listen address")
+	suite := fs.String("suite", "boot", "job suite to distribute: boot | hackback")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve the status/metrics daemon on this address (exposes broker lease state at /api/broker)")
 	minWorkers := fs.Int("min-workers", 1, "wait for this many workers")
@@ -266,31 +295,78 @@ func distributeCmd(args []string) error {
 		return err
 	}
 	defer broker.Close()
+	db, err := database.Open("")
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	cache := simcache.New(db, simcache.Options{})
+	fetchURL := ""
 	if *metricsAddr != "" {
 		sd := statusd.New(nil)
 		sd.Broker = broker
+		sd.Cache = cache
 		bound, _, err := statusd.ListenAndServe(*metricsAddr, sd)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("status daemon on http://%s (/metrics, /api/broker, /api/events)\n", bound)
+		fetchURL = "http://" + bound
+		fmt.Printf("status daemon on http://%s (/metrics, /api/broker, /api/cache, /api/events)\n", bound)
 	}
 	fmt.Printf("broker listening on %s; start gem5worker -broker %s\n", broker.Addr(), broker.Addr())
 	_ = *minWorkers // workers may attach at any time; jobs queue until they do
 
-	cells := kernel.Sweep()[:40]
-	for i, c := range cells {
-		payload, err := json.Marshal(map[string]any{
-			"kernel": string(c.Kernel), "cpu": string(c.CPU), "mem": c.Mem,
-			"cores": c.Cores, "boot": string(c.Boot),
-		})
+	var jobs int
+	switch *suite {
+	case "boot":
+		cells := kernel.Sweep()[:40]
+		for i, c := range cells {
+			payload, err := json.Marshal(map[string]any{
+				"kernel": string(c.Kernel), "cpu": string(c.CPU), "mem": c.Mem,
+				"cores": c.Cores, "boot": string(c.Boot),
+			})
+			if err != nil {
+				return err
+			}
+			broker.Submit(tasks.Job{ID: fmt.Sprintf("boot-%d", i), Kind: "boot", Payload: payload})
+		}
+		jobs = len(cells)
+	case "hackback":
+		// One boot class for the whole matrix: boot once here, ship the
+		// checkpoint to every worker.
+		class := simcache.BootClass{
+			KernelHash: "distributed-kernel",
+			DiskHash:   "distributed-disk",
+			Cores:      1,
+			Mem:        "classic",
+		}
+		blob, hash, err := run.BootClassCheckpoint(cache, class)
 		if err != nil {
 			return err
 		}
-		broker.Submit(tasks.Job{ID: fmt.Sprintf("boot-%d", i), Kind: "boot", Payload: payload})
+		fmt.Printf("boot class %.12s checkpoint %.12s (%d bytes), shared by all jobs\n",
+			class.Key(), hash, len(blob))
+		for i, k := range workloads.NPBKernels {
+			job := run.HackbackJob{
+				Benchmark: k, Suite: "npb", Class: "S",
+				Cores: 1, CPU: "TimingSimpleCPU", Mem: "classic",
+				CkptHash: hash, FetchURL: fetchURL,
+			}
+			if fetchURL == "" {
+				job.Ckpt = blob // no daemon to fetch from: ship inline
+			}
+			payload, err := json.Marshal(job)
+			if err != nil {
+				return err
+			}
+			broker.Submit(tasks.Job{ID: fmt.Sprintf("hackback-%d", i), Kind: "hackback", Payload: payload})
+		}
+		jobs = len(workloads.NPBKernels)
+	default:
+		return fmt.Errorf("unknown suite %q (want boot or hackback)", *suite)
 	}
 	counts := map[string]int{}
-	for done := 0; done < len(cells); done++ {
+	for done := 0; done < jobs; done++ {
 		r := <-broker.Results()
 		if r.Err != "" {
 			counts["error"]++
@@ -302,6 +378,7 @@ func distributeCmd(args []string) error {
 		_ = json.Unmarshal(r.Output, &out)
 		counts[out.Outcome]++
 	}
-	fmt.Printf("distributed %d boot jobs; outcomes: %v%s\n", len(cells), counts, telemetryTotals())
+	fmt.Printf("distributed %d %s jobs; outcomes: %v%s%s\n",
+		jobs, *suite, counts, telemetryTotals(), cacheTotals(cache))
 	return nil
 }

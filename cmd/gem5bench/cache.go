@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/core/launch"
+	"gem5art/internal/core/run"
+	"gem5art/internal/database"
+	"gem5art/internal/diskimage"
+	"gem5art/internal/simcache"
+	"gem5art/internal/workloads"
+)
+
+// cacheResult is the simulation-cache benchmark report
+// (BENCH_cache.json): a cold launch of K hack-back runs in one boot
+// class versus a warm identical re-launch through the same cache.
+type cacheResult struct {
+	Runs int `json:"runs"`
+
+	ColdNs           int64   `json:"cold_ns"`
+	WarmNs           int64   `json:"warm_ns"`
+	Speedup          float64 `json:"speedup"`
+	SpeedupThreshold float64 `json:"speedup_threshold"`
+
+	// The cold matrix shares one phase-1 boot across the class.
+	Boots       int64 `json:"boots"`
+	BootsShared int64 `json:"boots_shared"`
+
+	// The warm matrix replays entirely from the cache.
+	WarmHits int64 `json:"warm_hits"`
+
+	Pass bool `json:"pass"`
+}
+
+// cacheEnv provisions the minimal artifact set a hack-back launch needs.
+func cacheEnv() (*artifact.Registry, run.FSSpec, error) {
+	reg := artifact.NewRegistry(database.MustOpen(""))
+	gem5Git, err := reg.Register(artifact.Options{Name: "gem5-repo", Typ: "git repository",
+		Path: "gem5/", Content: []byte("repo")})
+	if err != nil {
+		return nil, run.FSSpec{}, err
+	}
+	gem5, err := reg.Register(artifact.Options{Name: "gem5", Typ: "gem5 binary",
+		Path: "gem5/build/X86/gem5.opt", Content: []byte("elf"),
+		Inputs: []*artifact.Artifact{gem5Git}})
+	if err != nil {
+		return nil, run.FSSpec{}, err
+	}
+	script, err := reg.Register(artifact.Options{Name: "scripts", Typ: "git repository",
+		Path: "exp/", Content: []byte("scripts")})
+	if err != nil {
+		return nil, run.FSSpec{}, err
+	}
+	linux, err := reg.Register(artifact.Options{Name: "vmlinux-5.4.49", Typ: "kernel",
+		Path: "vmlinux", Content: []byte("kernel")})
+	if err != nil {
+		return nil, run.FSSpec{}, err
+	}
+	img, err := diskimage.Build(diskimage.Template{Name: "boot-exit", OS: workloads.Ubuntu1804,
+		Steps: []diskimage.Provisioner{{Type: "benchmarks", Suite: "boot-exit"}}})
+	if err != nil {
+		return nil, run.FSSpec{}, err
+	}
+	disk, err := reg.Register(artifact.Options{Name: "boot-exit", Typ: "disk image",
+		Path: "disks/boot-exit.img", Content: img.Serialize()})
+	if err != nil {
+		return nil, run.FSSpec{}, err
+	}
+	base := run.FSSpec{
+		Gem5Binary: "gem5/build/X86/gem5.opt", RunScript: "configs/run_hackback.py",
+		Output:       "results",
+		Gem5Artifact: gem5, Gem5GitArtifact: gem5Git, RunScriptGitArtifact: script,
+		LinuxBinary: "vmlinux", DiskImage: "disks/boot-exit.img",
+		LinuxBinaryArtifact: linux, DiskImageArtifact: disk,
+	}
+	return reg, base, nil
+}
+
+// launchMatrix launches k hack-back runs (one boot class, distinct
+// tag=N params) through a cache-backed experiment and returns the wall
+// time of launch-to-completion.
+func launchMatrix(name string, reg *artifact.Registry, base run.FSSpec,
+	cache *simcache.Cache, k, workers int) (time.Duration, error) {
+	exp := launch.NewExperiment(name, reg, workers)
+	defer exp.Close()
+	exp.SetCache(cache)
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		spec := base
+		spec.Name = fmt.Sprintf("%s-%d", name, i)
+		spec.Output = "results/" + spec.Name
+		spec.Params = []string{"benchmark=boot-exit", "suite=boot-exit",
+			"cpu=TimingSimpleCPU", "num_cpus=1", fmt.Sprintf("tag=%d", i)}
+		if _, err := exp.LaunchFS(spec); err != nil {
+			return 0, err
+		}
+	}
+	exp.Wait(context.Background())
+	return time.Since(start), nil
+}
+
+func runCache(out string, k int, speedupThreshold float64) bool {
+	fmt.Printf("benchmarking simulation cache: %d-run matrix, cold then warm...\n", k)
+	reg, base, err := cacheEnv()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+	cache := simcache.New(reg.DB(), simcache.Options{})
+
+	coldDur, err := launchMatrix("cache-cold", reg, base, cache, k, 4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+	coldStats := cache.Stats()
+
+	// Warm: the identical matrix through the same cache — every run must
+	// replay from the result tier without simulating.
+	warmDur, err := launchMatrix("cache-warm", reg, base, cache, k, 4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+	warmStats := cache.Stats()
+
+	r := cacheResult{
+		Runs:             k,
+		ColdNs:           coldDur.Nanoseconds(),
+		WarmNs:           warmDur.Nanoseconds(),
+		SpeedupThreshold: speedupThreshold,
+		Boots:            coldStats.Boots,
+		BootsShared:      coldStats.BootsShared,
+		WarmHits:         warmStats.HitsMemory + warmStats.HitsPersistent - coldStats.HitsMemory - coldStats.HitsPersistent,
+	}
+	if r.WarmNs > 0 {
+		r.Speedup = float64(r.ColdNs) / float64(r.WarmNs)
+	}
+	r.Pass = r.Speedup >= speedupThreshold && r.Boots == 1 && r.WarmHits >= int64(k)
+	writeReport(out, r)
+
+	fmt.Printf("cold launch:  %v (%d runs, %d boot, %d shared boots)\n", coldDur, k, r.Boots, r.BootsShared)
+	fmt.Printf("warm launch:  %v (%d cache hits)\n", warmDur, r.WarmHits)
+	fmt.Printf("speedup:      %.1fx (required %.1fx) -> %s\n", r.Speedup, speedupThreshold, verdict(r.Pass))
+	fmt.Printf("report written to %s\n", out)
+	return r.Pass
+}

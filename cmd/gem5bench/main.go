@@ -15,9 +15,15 @@
 //     snapshot rewrites. Indexed lookups must beat scans by at least
 //     5x at this size, or the index fast path has regressed.
 //
+//   - cache: launches a K-run hack-back matrix cold (one shared boot
+//     per boot class) and then re-launches it warm through the same
+//     simulation cache. The warm launch must replay every run from the
+//     cache and finish at least 5x faster, and the cold matrix must
+//     perform exactly one boot.
+//
 // Usage:
 //
-//	gem5bench [-suite telemetry|storage] [-out FILE]
+//	gem5bench [-suite telemetry|storage|cache] [-out FILE]
 package main
 
 import (
@@ -110,12 +116,14 @@ func writeReport(out string, v any) {
 }
 
 func main() {
-	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry or storage")
+	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry, storage, or cache")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	events := flag.Int("events", 200_000, "telemetry: events per benchmark iteration")
 	threshold := flag.Float64("threshold", 5.0, "telemetry: maximum allowed overhead percent")
 	docs := flag.Int("docs", 10_000, "storage: documents per benchmark")
 	speedup := flag.Float64("speedup", 5.0, "storage: required indexed-vs-scan FindOne speedup")
+	runs := flag.Int("runs", 8, "cache: hack-back runs in the benchmark matrix")
+	warmSpeedup := flag.Float64("warm-speedup", 5.0, "cache: required warm-vs-cold launch speedup")
 	flag.Parse()
 
 	if *out == "" {
@@ -127,6 +135,8 @@ func main() {
 		pass = runTelemetry(*out, *events, *threshold)
 	case "storage":
 		pass = runStorage(*out, *docs, *speedup)
+	case "cache":
+		pass = runCache(*out, *runs, *warmSpeedup)
 	default:
 		fmt.Fprintf(os.Stderr, "gem5bench: unknown suite %q\n", *suite)
 		os.Exit(2)

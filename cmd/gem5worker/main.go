@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"time"
 
+	"gem5art/internal/core/run"
 	"gem5art/internal/core/tasks"
 	"gem5art/internal/sim/cpu"
 	"gem5art/internal/sim/gpu"
@@ -46,8 +47,9 @@ func main() {
 	w, err := tasks.NewWorkerWithOptions(*broker, tasks.WorkerOptions{
 		Capacity: *capacity,
 		Handlers: map[string]tasks.JobHandler{
-			"boot": bootJob,
-			"gpu":  gpuJob,
+			"boot":     bootJob,
+			"gpu":      gpuJob,
+			"hackback": run.ExecuteHackbackJob,
 		},
 		HeartbeatInterval: *heartbeat,
 	})

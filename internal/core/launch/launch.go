@@ -14,6 +14,7 @@ import (
 	"gem5art/internal/core/run"
 	"gem5art/internal/core/tasks"
 	"gem5art/internal/database"
+	"gem5art/internal/simcache"
 )
 
 // Sweep enumerates a parameter cross product. Axes iterate with the
@@ -81,6 +82,7 @@ type Experiment struct {
 	Reg  *artifact.Registry
 	Pool *tasks.Pool
 
+	cache   *simcache.Cache
 	futures []*tasks.Future
 	runs    []*run.Run
 }
@@ -96,12 +98,20 @@ func NewExperiment(name string, reg *artifact.Registry, workers int) *Experiment
 // tasks". Each re-execution is recorded in the run's attempt history.
 func (e *Experiment) SetRetryPolicy(rp tasks.RetryPolicy) { e.Pool.SetRetryPolicy(rp) }
 
+// SetCache attaches a simulation cache: every run launched afterwards
+// memoizes through it (identical runs replay their cached result, and
+// hack-back runs share one boot per boot-equivalence class).
+func (e *Experiment) SetCache(c *simcache.Cache) { e.cache = c }
+
 // LaunchFS creates a full-system run from the spec and schedules it
 // asynchronously (Figure 5's apply_async).
 func (e *Experiment) LaunchFS(spec run.FSSpec) (*run.Run, error) {
 	r, err := run.CreateFSRun(e.Reg, spec)
 	if err != nil {
 		return nil, err
+	}
+	if e.cache != nil {
+		r.SetCache(e.cache)
 	}
 	fut, err := e.Pool.ApplyAsync(tasks.TaskFunc{
 		Name: r.ID,
@@ -135,12 +145,14 @@ func (e *Experiment) Runs() []*run.Run { return e.runs }
 // runs that needed more than one attempt (flaky runs); Resumed counts
 // runs that recovered from a prior attempt's checkpoint.
 type Summary struct {
-	Total     int
-	ByStatus  map[string]int
-	ByOutcome map[string]int
-	Attempts  int // total executions across all runs (>= Total when retries fired)
-	Retried   int
-	Resumed   int
+	Total      int
+	ByStatus   map[string]int
+	ByOutcome  map[string]int
+	Attempts   int // total executions across all runs (>= Total when retries fired)
+	Retried    int
+	Resumed    int
+	Cached     int // runs whose result replayed from the simulation cache
+	SharedBoot int // runs that restored a shared boot-class checkpoint
 }
 
 // Summarize builds a Summary over all runs in the database.
@@ -163,6 +175,12 @@ func Summarize(db database.Store) Summary {
 		if rf, ok := d["resumed_from"].(string); ok && rf != "" {
 			s.Resumed++
 		}
+		if hit, ok := d["cache_hit"].(bool); ok && hit {
+			s.Cached++
+		}
+		if sb, ok := d["shared_boot"].(bool); ok && sb {
+			s.SharedBoot++
+		}
 	}
 	return s
 }
@@ -175,6 +193,12 @@ func (s Summary) String() string {
 	}
 	if s.Resumed > 0 {
 		out += fmt.Sprintf(" resumed=%d", s.Resumed)
+	}
+	if s.Cached > 0 {
+		out += fmt.Sprintf(" cached=%d", s.Cached)
+	}
+	if s.SharedBoot > 0 {
+		out += fmt.Sprintf(" shared-boot=%d", s.SharedBoot)
 	}
 	return out
 }

@@ -1,0 +1,75 @@
+package launch
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"gem5art/internal/core/run"
+	"gem5art/internal/simcache"
+)
+
+// PlannedClass is one boot-equivalence class in a launch: the set of
+// runs that can all restore from a single phase-1 boot checkpoint
+// because they share kernel, disk image, core count, and phase-1
+// memory configuration.
+type PlannedClass struct {
+	Class simcache.BootClass
+	Key   string
+	Runs  []*run.Run
+}
+
+// PlanBootClasses groups FS hack-back runs into boot-equivalence
+// classes. Runs that do not take the hack-back path (SE runs, other run
+// scripts) are excluded — they have no shareable boot. Classes come
+// back sorted largest-first: the classes worth booting eagerly are the
+// ones amortized over the most members.
+func PlanBootClasses(runs []*run.Run) []PlannedClass {
+	byKey := map[string]*PlannedClass{}
+	var order []string
+	for _, r := range runs {
+		if r.Mode != "fs" || r.Spec.RunScript != "configs/run_hackback.py" {
+			continue
+		}
+		if r.Spec.LinuxBinaryArtifact == nil || r.Spec.DiskImageArtifact == nil {
+			continue
+		}
+		cores := 1
+		if v := r.Param("num_cpus", "1"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				cores = n
+			}
+		}
+		class := simcache.BootClass{
+			KernelHash: r.Spec.LinuxBinaryArtifact.Hash,
+			DiskHash:   r.Spec.DiskImageArtifact.Hash,
+			Cores:      cores,
+			Mem:        "classic", // phase 1 always boots on the classic memory system
+		}
+		key := class.Key()
+		pc, ok := byKey[key]
+		if !ok {
+			pc = &PlannedClass{Class: class, Key: key}
+			byKey[key] = pc
+			order = append(order, key)
+		}
+		pc.Runs = append(pc.Runs, r)
+	}
+	out := make([]PlannedClass, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byKey[key])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return len(out[i].Runs) > len(out[j].Runs)
+	})
+	return out
+}
+
+// Plan groups this experiment's launched runs into boot classes.
+func (e *Experiment) Plan() []PlannedClass { return PlanBootClasses(e.runs) }
+
+// String renders the plan line gem5art prints before a launch.
+func (p PlannedClass) String() string {
+	return fmt.Sprintf("boot class %s: %d runs (kernel %.8s, disk %.8s, %d cores, %s mem)",
+		p.Key[:12], len(p.Runs), p.Class.KernelHash, p.Class.DiskHash, p.Class.Cores, p.Class.Mem)
+}

@@ -1,0 +1,135 @@
+package launch
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/core/run"
+	"gem5art/internal/simcache"
+)
+
+// hackBase converts the shared buildEnv spec into a hack-back spec.
+func hackBase(base run.FSSpec, name string, params ...string) run.FSSpec {
+	spec := base
+	spec.Name = name
+	spec.RunScript = "configs/run_hackback.py"
+	spec.Output = "results/" + name
+	spec.Params = append([]string{"benchmark=boot-exit", "suite=boot-exit",
+		"cpu=TimingSimpleCPU"}, params...)
+	return spec
+}
+
+func TestPlanBootClassesGroups(t *testing.T) {
+	reg, base := buildEnv(t)
+	otherKernel, err := reg.Register(artifact.Options{Name: "vmlinux-4.19.83", Typ: "kernel",
+		Path: "vmlinux-4.19", Content: []byte("kernel 4.19")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var runs []*run.Run
+	mk := func(spec run.FSSpec) *run.Run {
+		t.Helper()
+		r, err := run.CreateFSRun(reg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+		return r
+	}
+	// Class A: three single-core runs on the default kernel.
+	mk(hackBase(base, "a1", "num_cpus=1", "tag=1"))
+	mk(hackBase(base, "a2", "num_cpus=1", "tag=2"))
+	mk(hackBase(base, "a3", "num_cpus=1", "tag=3"))
+	// Class B: two dual-core runs.
+	mk(hackBase(base, "b1", "num_cpus=2", "tag=1"))
+	mk(hackBase(base, "b2", "num_cpus=2", "tag=2"))
+	// Class C: one run on a different kernel.
+	spec := hackBase(base, "c1", "num_cpus=1")
+	spec.LinuxBinaryArtifact = otherKernel
+	mk(spec)
+	// Not a hack-back run: excluded from every class.
+	exit := base
+	exit.Name = "exit-run"
+	exit.Params = []string{"kernel=5.4.49", "cpu=kvmCPU", "mem_sys=classic",
+		"num_cpus=1", "boot_type=init"}
+	mk(exit)
+
+	classes := PlanBootClasses(runs)
+	if len(classes) != 3 {
+		t.Fatalf("%d classes, want 3: %v", len(classes), classes)
+	}
+	// Largest class first.
+	if len(classes[0].Runs) != 3 || len(classes[1].Runs) != 2 || len(classes[2].Runs) != 1 {
+		t.Fatalf("class sizes: %d/%d/%d", len(classes[0].Runs), len(classes[1].Runs), len(classes[2].Runs))
+	}
+	seen := map[string]bool{}
+	total := 0
+	for _, pc := range classes {
+		if seen[pc.Key] {
+			t.Fatalf("duplicate class key %s", pc.Key)
+		}
+		seen[pc.Key] = true
+		total += len(pc.Runs)
+		for _, r := range pc.Runs {
+			if r.Spec.Name == "exit-run" {
+				t.Fatal("non-hack-back run planned into a boot class")
+			}
+		}
+	}
+	if total != 6 {
+		t.Fatalf("%d runs planned, want 6", total)
+	}
+	if classes[0].Class.Cores != 1 || classes[1].Class.Cores != 2 {
+		t.Fatalf("class cores: %+v", classes)
+	}
+	if s := classes[0].String(); !strings.Contains(s, "3 runs") || !strings.Contains(s, "1 cores") {
+		t.Fatalf("plan line: %q", s)
+	}
+}
+
+// TestExperimentSharedBootAndCacheSummary: an experiment with a cache
+// boots each class once, and the launch summary reports shared boots
+// and cache hits.
+func TestExperimentSharedBootAndCacheSummary(t *testing.T) {
+	reg, base := buildEnv(t)
+	cache := simcache.New(reg.DB(), simcache.Options{})
+	e := NewExperiment("cached", reg, 1)
+	defer e.Close()
+	e.SetCache(cache)
+
+	if _, err := e.LaunchFS(hackBase(base, "cold-1", "num_cpus=1", "tag=1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LaunchFS(hackBase(base, "cold-2", "num_cpus=1", "tag=2")); err != nil {
+		t.Fatal(err)
+	}
+	// Identical params to cold-1: memoized, no simulation at all.
+	if _, err := e.LaunchFS(hackBase(base, "warm-1", "num_cpus=1", "tag=1")); err != nil {
+		t.Fatal(err)
+	}
+	e.Wait(context.Background())
+
+	if classes := e.Plan(); len(classes) != 1 || len(classes[0].Runs) != 3 {
+		t.Fatalf("plan: %+v", classes)
+	}
+	sum := Summarize(reg.DB())
+	if sum.ByStatus["done"] != 3 || sum.ByOutcome["success"] != 3 {
+		t.Fatalf("summary: %s", sum)
+	}
+	if sum.Cached != 1 {
+		t.Fatalf("cached = %d, want 1 (summary %s)", sum.Cached, sum)
+	}
+	if sum.SharedBoot != 1 {
+		t.Fatalf("shared-boot = %d, want 1 (summary %s)", sum.SharedBoot, sum)
+	}
+	st := cache.Stats()
+	if st.Boots != 1 {
+		t.Fatalf("cache booted %d times, want 1", st.Boots)
+	}
+	if !strings.Contains(sum.String(), "cached=1") || !strings.Contains(sum.String(), "shared-boot=1") {
+		t.Fatalf("summary line: %q", sum.String())
+	}
+}

@@ -1,0 +1,116 @@
+package run
+
+import (
+	"encoding/json"
+
+	"gem5art/internal/core/artifact"
+	"gem5art/internal/database"
+	"gem5art/internal/simcache"
+)
+
+// SetCache attaches the simulation cache this run memoizes through.
+// With no cache attached the run always executes for real. Call before
+// Execute.
+func (r *Run) SetCache(c *simcache.Cache) {
+	r.mu.Lock()
+	r.cache = c
+	r.mu.Unlock()
+}
+
+// CacheKey returns the run's canonical content key: the stable hash
+// over its input closure (run kind, artifact hashes, parameters,
+// sim-version salt) computed at creation and recorded on the run
+// document as cache_key.
+func (r *Run) CacheKey() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheKey
+}
+
+func (r *Run) cacheRef() *simcache.Cache {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache
+}
+
+// computeCacheKey hashes the run's input closure. Called at creation,
+// before the run is shared.
+func (r *Run) computeCacheKey() string {
+	arts := []*artifact.Artifact{
+		r.Spec.Gem5Artifact,
+		r.Spec.Gem5GitArtifact,
+		r.Spec.RunScriptGitArtifact,
+		r.Spec.LinuxBinaryArtifact,
+		r.Spec.DiskImageArtifact,
+	}
+	hashes := make([]string, 0, len(arts))
+	for _, a := range arts {
+		if a != nil {
+			hashes = append(hashes, a.Hash)
+		}
+	}
+	return simcache.KeyInputs{
+		Kind:      r.Mode + ":" + r.Spec.RunScript,
+		Artifacts: hashes,
+		Params:    r.Spec.Params,
+	}.Key()
+}
+
+// runMemoized executes the handler through the simulation cache: an
+// identical run (same key) that already completed — in this process, in
+// this launch, or in any launch sharing the database — replays its
+// cached result instead of simulating, and N concurrent identical runs
+// coalesce onto one execution. Handler errors are never cached.
+func (r *Run) runMemoized(h Handler) (*Results, error) {
+	r.mu.Lock()
+	c, key := r.cache, r.cacheKey
+	r.mu.Unlock()
+	if c == nil || key == "" {
+		return h(r)
+	}
+	doc, cached, err := c.GetOrCompute(key, func() (database.Doc, error) {
+		res, err := h(r)
+		if err != nil {
+			return nil, err
+		}
+		return resultsDoc(res), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, derr := resultsFromDoc(doc)
+	if derr != nil {
+		// A malformed cache entry must not fail the run: drop it and
+		// simulate for real.
+		c.Invalidate(key)
+		return h(r)
+	}
+	res.FromCache = cached
+	return res, nil
+}
+
+// resultsDoc renders Results as a cacheable document (JSON round-trip,
+// so the cached form matches what the persistent tier stores anyway).
+func resultsDoc(res *Results) database.Doc {
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return database.Doc{"Outcome": res.Outcome}
+	}
+	var d database.Doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return database.Doc{"Outcome": res.Outcome}
+	}
+	return d
+}
+
+func resultsFromDoc(d database.Doc) (*Results, error) {
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	var res Results
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"gem5art/internal/sim"
 	"gem5art/internal/sim/cpu"
+	"gem5art/internal/simcache"
 	"gem5art/internal/workloads"
 )
 
@@ -13,7 +14,10 @@ import (
 // checkpoint, then restore the booted memory image into a detailed
 // system and execute the host-provided script (here: a benchmark from
 // the disk image). The checkpoint itself is archived in the database
-// file store, so the expensive boot is paid once and reusable.
+// file store under the run's boot-equivalence class, so the expensive
+// boot is paid once per class — across retries of this run and across
+// every sibling run sharing the same kernel, disk image, core count,
+// and phase-1 memory configuration.
 func runHackBack(r *Run) (*Results, error) {
 	img, err := loadImage(r)
 	if err != nil {
@@ -23,37 +27,65 @@ func runHackBack(r *Run) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	class := simcache.BootClass{
+		KernelHash: r.Spec.LinuxBinaryArtifact.Hash,
+		DiskHash:   r.Spec.DiskImageArtifact.Hash,
+		Cores:      cores,
+		// Phase 1 always boots on the classic memory system; the detailed
+		// phase-2 memory (mem_sys param) does not affect the boot image.
+		Mem: "classic",
+	}
+	classKey := class.Key()
 
-	// Phase 1: fast boot to the checkpoint — unless a prior attempt of
-	// this run already paid for the boot, in which case resume from its
-	// archived checkpoint instead of re-booting.
+	// Phase 1: fast boot to the checkpoint — unless someone already paid
+	// for this boot class's boot.
 	var ck *cpu.Checkpoint
 	var ckptHash, resumedFrom string
+	var sharedBoot bool
 	var bootInsts uint64
-	if prior, hash := r.PriorCheckpoint(); prior != nil && len(prior.Cores) == cores {
+	// A prior attempt of this same run may have archived a checkpoint;
+	// it is only trustworthy if it was taken under the same boot class —
+	// same kernel and disk identity, core count, and phase-1 memory.
+	if prior, hash, priorClass := r.PriorCheckpoint(); prior != nil &&
+		priorClass == classKey && len(prior.Cores) == cores {
 		ck, ckptHash, resumedFrom = prior, hash, hash
 		for _, c := range prior.Cores {
 			bootInsts += c.Insts
 		}
 	}
+	// Boot-class cache: the first run in the class boots (concurrent
+	// siblings coalesce onto it via singleflight), everyone else
+	// restores the archived class checkpoint.
 	if ck == nil {
-		bootProg := workloads.BootExitProgram()
-		fastMem, err := buildMemParam("classic", cores)
+		if cache := r.cacheRef(); cache != nil {
+			blob, hash, shared, err := cache.BootOnce(class, "bootclass/"+classKey+"/cpt.1",
+				func() ([]byte, error) {
+					booted, _, err := hackBoot(cores)
+					if err != nil {
+						return nil, err
+					}
+					return booted.Serialize(), nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			if parsed, perr := cpu.ParseCheckpoint(blob); perr == nil {
+				ck, ckptHash, sharedBoot = parsed, hash, shared
+				for _, c := range parsed.Cores {
+					bootInsts += c.Insts
+				}
+				r.RecordCheckpoint(hash, classKey)
+			}
+		}
+	}
+	if ck == nil {
+		booted, insts, err := hackBoot(cores)
 		if err != nil {
 			return nil, err
 		}
-		fast := cpu.NewSystem(cpu.Config{Model: cpu.KVM, Cores: cores}, fastMem)
-		for c := 0; c < cores; c++ {
-			fast.LoadProgram(c, bootProg)
-		}
-		bootRes := fast.Run(sim.TicksPerSecond)
-		if !bootRes.Finished {
-			return nil, fmt.Errorf("run: hack-back boot did not finish")
-		}
-		bootInsts = bootRes.Insts
-		ck = fast.SaveCheckpoint()
+		ck, bootInsts = booted, insts
 		ckptHash = r.reg.DB().Files().Put(r.Spec.Output+"/cpt.1", ck.Serialize())
-		r.RecordCheckpoint(ckptHash)
+		r.RecordCheckpoint(ckptHash, classKey)
 	}
 	if err := r.faultPoint("run.hackback.phase2"); err != nil {
 		return nil, err
@@ -92,9 +124,13 @@ func runHackBack(r *Run) (*Results, error) {
 	}
 	console := fmt.Sprintf("m5 checkpoint (archived %s)\nrestored; script %s complete\nm5 exit",
 		ckptHash[:12], bench)
-	if resumedFrom != "" {
+	switch {
+	case resumedFrom != "":
 		console = fmt.Sprintf("resumed from checkpoint %s (boot skipped)\nscript %s complete\nm5 exit",
 			resumedFrom[:12], bench)
+	case sharedBoot:
+		console = fmt.Sprintf("restored boot-class checkpoint %s (boot skipped)\nscript %s complete\nm5 exit",
+			ckptHash[:12], bench)
 	}
 	return &Results{
 		Outcome:    outcome,
@@ -107,5 +143,27 @@ func runHackBack(r *Run) (*Results, error) {
 		},
 		Console:     console,
 		ResumedFrom: resumedFrom,
+		BootClass:   classKey,
+		SharedBoot:  sharedBoot,
 	}, nil
+}
+
+// hackBoot performs the phase-1 fast boot: KVM cores on the classic
+// memory system running the boot-exit program to completion. Returns
+// the checkpoint and the instructions the boot executed.
+func hackBoot(cores int) (*cpu.Checkpoint, uint64, error) {
+	bootProg := workloads.BootExitProgram()
+	fastMem, err := buildMemParam("classic", cores)
+	if err != nil {
+		return nil, 0, err
+	}
+	fast := cpu.NewSystem(cpu.Config{Model: cpu.KVM, Cores: cores}, fastMem)
+	for c := 0; c < cores; c++ {
+		fast.LoadProgram(c, bootProg)
+	}
+	bootRes := fast.Run(sim.TicksPerSecond)
+	if !bootRes.Finished {
+		return nil, 0, fmt.Errorf("run: hack-back boot did not finish")
+	}
+	return fast.SaveCheckpoint(), bootRes.Insts, nil
 }

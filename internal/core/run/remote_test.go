@@ -1,0 +1,105 @@
+package run
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gem5art/internal/database"
+	"gem5art/internal/simcache"
+	"gem5art/internal/statusd"
+)
+
+// bootBlob boots a fresh 1-core class and returns the serialized
+// checkpoint with its content hash.
+func bootBlob(t *testing.T) ([]byte, string) {
+	t.Helper()
+	ck, _, err := hackBoot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := ck.Serialize()
+	return blob, database.HashBytes(blob)
+}
+
+func TestExecuteHackbackJobInline(t *testing.T) {
+	blob, hash := bootBlob(t)
+	payload, _ := json.Marshal(HackbackJob{
+		Benchmark: "cg", Suite: "npb", Class: "S",
+		Cores: 1, CPU: "TimingSimpleCPU", Mem: "classic",
+		CkptHash: hash, Ckpt: blob,
+	})
+	out, err := ExecuteHackbackJob(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := out.(map[string]any)
+	if !ok {
+		t.Fatalf("result type %T", out)
+	}
+	if res["outcome"] != "success" {
+		t.Fatalf("outcome: %v", res)
+	}
+	boot := res["boot_insts"].(uint64)
+	script := res["script_insts"].(uint64)
+	if boot == 0 || script == 0 || res["insts"].(uint64) != boot+script {
+		t.Fatalf("instruction accounting: %v", res)
+	}
+}
+
+func TestExecuteHackbackJobRejectsCorruptInlineCheckpoint(t *testing.T) {
+	blob, hash := bootBlob(t)
+	blob[0] ^= 0xff
+	payload, _ := json.Marshal(HackbackJob{
+		Suite: "boot-exit", Cores: 1, CkptHash: hash, Ckpt: blob,
+	})
+	if _, err := ExecuteHackbackJob(payload); err == nil {
+		t.Fatal("corrupt inline checkpoint accepted")
+	}
+}
+
+func TestExecuteHackbackJobFetchesByHash(t *testing.T) {
+	db := database.MustOpen("")
+	defer db.Close()
+	cache := simcache.New(db, simcache.Options{})
+	blob, _ := bootBlob(t)
+	class := simcache.BootClass{KernelHash: "k", DiskHash: "d", Cores: 1, Mem: "classic"}
+	hash := cache.PutCheckpoint(class, "bootclass/fetch/cpt.1", blob)
+
+	sd := statusd.New(db)
+	sd.Cache = cache
+	ts := httptest.NewServer(sd.Handler())
+	defer ts.Close()
+
+	payload, _ := json.Marshal(HackbackJob{
+		Benchmark: "ep", Suite: "npb", Cores: 1,
+		CkptHash: hash, FetchURL: ts.URL,
+	})
+	out, err := ExecuteHackbackJob(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := out.(map[string]any); res["outcome"] != "success" {
+		t.Fatalf("outcome: %v", res)
+	}
+}
+
+func TestFetchCheckpointRejectsWrongBytes(t *testing.T) {
+	// A server that answers with bytes that do not hash to what was asked
+	// for: the fetch must fail the integrity check.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("not the checkpoint you asked for"))
+	}))
+	defer ts.Close()
+	if _, err := FetchCheckpoint(ts.URL, "00000000000000000000000000000000"); err == nil {
+		t.Fatal("mismatched fetch accepted")
+	}
+}
+
+func TestExecuteHackbackJobRequiresASource(t *testing.T) {
+	payload, _ := json.Marshal(HackbackJob{Suite: "boot-exit", Cores: 1})
+	if _, err := ExecuteHackbackJob(payload); err == nil {
+		t.Fatal("job with no checkpoint source accepted")
+	}
+}

@@ -169,7 +169,7 @@ func TestHackBackResumesFromCheckpoint(t *testing.T) {
 	if r.StatusNow() != Failed {
 		t.Fatalf("status = %s", r.StatusNow())
 	}
-	if _, hash := r.PriorCheckpoint(); hash == "" {
+	if _, hash, _ := r.PriorCheckpoint(); hash == "" {
 		t.Fatal("failed attempt did not leave a resumable checkpoint")
 	}
 

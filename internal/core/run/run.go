@@ -17,6 +17,7 @@ import (
 	"gem5art/internal/database"
 	"gem5art/internal/faultinject"
 	"gem5art/internal/sim/cpu"
+	"gem5art/internal/simcache"
 	"gem5art/internal/telemetry"
 )
 
@@ -68,6 +69,9 @@ type Results struct {
 	ConsoleHash string // file-store hash of the archived console log
 	ConfigHash  string // file-store hash of the archived config.ini
 	ResumedFrom string // checkpoint hash this run resumed from, if retried
+	FromCache   bool   // result replayed from the simulation cache
+	BootClass   string // boot-equivalence class key (hack-back runs)
+	SharedBoot  bool   // boot skipped by restoring a boot-class checkpoint
 }
 
 // Attempt records one execution of a run — the per-run lifecycle
@@ -93,10 +97,13 @@ type Run struct {
 	WallEnd   time.Time
 	Attempts  []Attempt
 
-	mu       sync.Mutex
-	ckptHash string // checkpoint archived by a prior attempt
-	inject   *faultinject.Injector
-	reg      *artifact.Registry
+	mu        sync.Mutex
+	ckptHash  string // checkpoint archived by a prior attempt
+	ckptClass string // boot-class key that checkpoint was taken under
+	cacheKey  string // canonical content key over the run's input closure
+	cache     *simcache.Cache
+	inject    *faultinject.Injector
+	reg       *artifact.Registry
 }
 
 // DefaultTimeout matches createFSRun's 15-minute default.
@@ -161,6 +168,7 @@ func CreateFSRun(reg *artifact.Registry, spec FSSpec) (*Run, error) {
 		Status: Queued,
 		reg:    reg,
 	}
+	r.cacheKey = r.computeCacheKey()
 	if _, err := reg.DB().Collection(Collection).InsertOne(r.doc()); err != nil {
 		return nil, fmt.Errorf("run: %s: %w", spec.Name, err)
 	}
@@ -250,7 +258,7 @@ func (r *Run) Execute(ctx context.Context) error {
 				ch <- outcome{nil, fmt.Errorf("run: %s: handler panicked: %v", r.Spec.Name, rec)}
 			}
 		}()
-		res, err := h(r)
+		res, err := r.runMemoized(h)
 		ch <- outcome{res, err}
 	}()
 	select {
@@ -308,32 +316,41 @@ func (r *Run) SetInjector(in *faultinject.Injector) { r.inject = in }
 func (r *Run) faultPoint(site string) error { return r.inject.Hit(site) }
 
 // RecordCheckpoint publishes the file-store hash of a checkpoint
-// archived by the current attempt, so a later attempt can resume from
-// it instead of repeating the work (the boot, for an FS run).
-func (r *Run) RecordCheckpoint(hash string) {
+// archived by the current attempt, tagged with the boot-class key it
+// was taken under, so a later attempt can resume from it instead of
+// repeating the work (the boot, for an FS run) — but only when the
+// retry still belongs to the same boot class.
+func (r *Run) RecordCheckpoint(hash, class string) {
 	r.mu.Lock()
 	r.ckptHash = hash
+	r.ckptClass = class
 	r.mu.Unlock()
 }
 
 // PriorCheckpoint returns the checkpoint archived by an earlier attempt
-// (parsed back from the database file store) and its hash, or nil.
-func (r *Run) PriorCheckpoint() (*cpu.Checkpoint, string) {
+// (parsed back from the database file store), its hash, and the
+// boot-class key it was taken under. The blob is re-hashed against the
+// recorded hash before parsing: a corrupted blob fails the restore and
+// the caller falls back to a fresh boot.
+func (r *Run) PriorCheckpoint() (*cpu.Checkpoint, string, string) {
 	r.mu.Lock()
-	hash := r.ckptHash
+	hash, class := r.ckptHash, r.ckptClass
 	r.mu.Unlock()
 	if hash == "" {
-		return nil, ""
+		return nil, "", ""
 	}
 	raw, err := r.reg.DB().Files().Get(hash)
 	if err != nil {
-		return nil, ""
+		return nil, "", ""
+	}
+	if database.HashBytes(raw) != hash {
+		return nil, "", ""
 	}
 	ck, err := cpu.ParseCheckpoint(raw)
 	if err != nil {
-		return nil, ""
+		return nil, "", ""
 	}
-	return ck, hash
+	return ck, hash, class
 }
 
 // AttemptHistory returns a copy of the run's attempt records.
@@ -426,8 +443,25 @@ func (r *Run) doc() database.Doc {
 	if r.ckptHash != "" {
 		d["checkpoint_file"] = r.ckptHash
 	}
+	if r.ckptClass != "" {
+		d["checkpoint_class"] = r.ckptClass
+	}
+	if r.cacheKey != "" {
+		d["cache_key"] = r.cacheKey
+	}
 	if r.Results != nil && r.Results.ResumedFrom != "" {
 		d["resumed_from"] = r.Results.ResumedFrom
+	}
+	if r.Results != nil {
+		if r.Results.FromCache {
+			d["cache_hit"] = true
+		}
+		if r.Results.BootClass != "" {
+			d["boot_class"] = r.Results.BootClass
+		}
+		if r.Results.SharedBoot {
+			d["shared_boot"] = true
+		}
 	}
 	return d
 }

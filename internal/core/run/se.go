@@ -71,6 +71,7 @@ func CreateSERun(reg *artifact.Registry, spec SESpec) (*Run, error) {
 		Status: Queued,
 		reg:    reg,
 	}
+	r.cacheKey = r.computeCacheKey()
 	if _, ok := handler(spec.RunScript); !ok {
 		return nil, fmt.Errorf("run: %s: no handler for run script %q", spec.Name, spec.RunScript)
 	}

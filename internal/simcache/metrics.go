@@ -1,0 +1,29 @@
+package simcache
+
+import "gem5art/internal/telemetry"
+
+// Process-wide cache telemetry, exported on /metrics. The per-Cache
+// Stats counters mirror these for /api/cache and tests; the registry
+// series aggregate across every cache in the process.
+var (
+	cacheHits = telemetry.Default.CounterVec("gem5art_simcache_hits_total",
+		"simulation cache hits by tier", "tier") // memory | persistent | checkpoint
+	cacheMisses = telemetry.Default.CounterVec("gem5art_simcache_misses_total",
+		"simulation cache misses by kind", "kind") // result | checkpoint
+	cacheEvictions = telemetry.Default.CounterVec("gem5art_simcache_evictions_total",
+		"simulation cache evictions by reason", "reason") // entries | bytes | ttl | salt | invalidated | corrupt
+	cacheDedups = telemetry.Default.Counter("gem5art_simcache_singleflight_dedup_total",
+		"concurrent identical requests coalesced onto one in-flight computation")
+	cacheStores = telemetry.Default.Counter("gem5art_simcache_stores_total",
+		"results written into the simulation cache")
+	cacheMemBytes = telemetry.Default.Gauge("gem5art_simcache_memory_bytes",
+		"bytes held by the in-memory cache tier")
+	cacheMemEntries = telemetry.Default.Gauge("gem5art_simcache_memory_entries",
+		"entries held by the in-memory cache tier")
+	cacheBoots = telemetry.Default.Counter("gem5art_simcache_boots_total",
+		"boot-class phase-1 boots actually executed")
+	cacheBootsShared = telemetry.Default.Counter("gem5art_simcache_boots_shared_total",
+		"boots avoided by restoring a boot-class checkpoint")
+	cacheCorrupt = telemetry.Default.Counter("gem5art_simcache_corrupt_checkpoints_total",
+		"checkpoint blobs that failed integrity verification on restore")
+)

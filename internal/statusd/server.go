@@ -16,6 +16,7 @@ import (
 
 	"gem5art/internal/core/tasks"
 	"gem5art/internal/database"
+	"gem5art/internal/simcache"
 	"gem5art/internal/telemetry"
 )
 
@@ -28,6 +29,7 @@ type Server struct {
 	Bus      *telemetry.EventBus
 	DB       database.Store
 	Broker   *tasks.Broker
+	Cache    *simcache.Cache
 	Start    time.Time
 }
 
@@ -50,6 +52,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/runs", s.listRuns)
 	mux.HandleFunc("GET /api/runs/{id}", s.getRun)
 	mux.HandleFunc("GET /api/broker", s.brokerState)
+	mux.HandleFunc("GET /api/cache", s.cacheStats)
+	mux.HandleFunc("GET /api/cache/checkpoints/{hash}", s.cacheCheckpoint)
 	mux.HandleFunc("GET /api/events", s.events)
 	return mux
 }
@@ -172,6 +176,35 @@ func (s *Server) getRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// cacheStats serves the simulation cache's hit/miss/eviction counters.
+func (s *Server) cacheStats(w http.ResponseWriter, _ *http.Request) {
+	if s.Cache == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no cache attached"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Cache.Stats())
+}
+
+// cacheCheckpoint serves a boot-class checkpoint blob by content hash —
+// the endpoint workers fetch shared checkpoints from. The blob is
+// integrity-verified against the hash before it leaves the daemon.
+func (s *Server) cacheCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.Cache == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no cache attached"})
+		return
+	}
+	hash := r.PathValue("hash")
+	blob, err := s.Cache.CheckpointByHash(hash)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error(), "hash": hash})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(blob)
 }
 
 func (s *Server) brokerState(w http.ResponseWriter, _ *http.Request) {

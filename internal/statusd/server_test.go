@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gem5art/internal/database"
+	"gem5art/internal/simcache"
 	"gem5art/internal/telemetry"
 )
 
@@ -233,5 +234,62 @@ func TestListenAndServe(t *testing.T) {
 	var body map[string]any
 	if code := getJSON(t, "http://"+addr+"/healthz", &body); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
+	}
+}
+
+func TestCacheStatsEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+
+	// No cache attached: 503, not a panic.
+	var body map[string]any
+	if code := getJSON(t, ts.URL+"/api/cache", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("no-cache status = %d", code)
+	}
+
+	s.Cache = simcache.New(s.DB, simcache.Options{})
+	s.Cache.Store("k1", database.Doc{"Outcome": "success"})
+	if _, ok := s.Cache.Lookup("k1"); !ok {
+		t.Fatal("seed lookup missed")
+	}
+	s.Cache.Lookup("absent")
+
+	var st simcache.Stats
+	if code := getJSON(t, ts.URL+"/api/cache", &st); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if st.HitsMemory != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Salt != simcache.SimVersionSalt {
+		t.Fatalf("salt = %q", st.Salt)
+	}
+}
+
+func TestCacheCheckpointEndpoint(t *testing.T) {
+	s, ts := testServer(t)
+	s.Cache = simcache.New(s.DB, simcache.Options{})
+	class := simcache.BootClass{KernelHash: "k", DiskHash: "d", Cores: 1, Mem: "classic"}
+	blob := []byte("G5CK pretend checkpoint payload")
+	hash := s.Cache.PutCheckpoint(class, "bootclass/test/cpt.1", blob)
+
+	resp, err := http.Get(ts.URL + "/api/cache/checkpoints/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	if string(got) != string(blob) {
+		t.Fatalf("blob mismatch: %q", got)
+	}
+
+	var body map[string]any
+	if code := getJSON(t, ts.URL+"/api/cache/checkpoints/ffffffffffffffffffffffffffffffff", &body); code != http.StatusNotFound {
+		t.Fatalf("missing-hash status = %d", code)
 	}
 }
