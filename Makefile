@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race chaos bench ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection suites under the race detector: the
+# seeded network-chaos proxy tests, the broker/worker session and
+# durability tests, and the end-to-end launches that kill the broker,
+# partition each worker, and flap every connection mid-launch. The
+# invariant under test: every launch completes with zero lost and zero
+# duplicated job results.
+chaos:
+	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/core/tasks/
+	$(GO) test -race -count=1 -run 'TestChaos|TestEndToEnd' ./internal/core/launch/
 
 # bench runs the gem5bench suites:
 #   telemetry — event-loop instrumentation overhead (budget: <5%),

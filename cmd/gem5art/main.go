@@ -281,25 +281,31 @@ func distributeCmd(args []string) error {
 	lease := fs.Duration("lease", 30*time.Minute, "per-assignment execution lease (0 disables)")
 	hbTimeout := fs.Duration("heartbeat-timeout", 5*time.Second,
 		"revoke workers silent for this long (0 disables)")
+	dbDir := fs.String("db", "",
+		"database directory backing a durable broker queue; rerunning distribute with the same -db resumes a crashed launch instead of restarting it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rp := tasks.DefaultRetryPolicy()
-	rp.MaxAttempts = *retries
-	broker, err := tasks.NewBrokerWithOptions(*listen, tasks.BrokerOptions{
-		HeartbeatTimeout: *hbTimeout,
-		Lease:            *lease,
-		Retry:            rp,
-	})
-	if err != nil {
-		return err
-	}
-	defer broker.Close()
-	db, err := database.Open("")
+	db, err := database.Open(*dbDir)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	rp := tasks.DefaultRetryPolicy()
+	rp.MaxAttempts = *retries
+	bopts := tasks.BrokerOptions{
+		HeartbeatTimeout: *hbTimeout,
+		Lease:            *lease,
+		Retry:            rp,
+	}
+	if *dbDir != "" {
+		bopts.DB = db // persist the queue only when the operator names a directory
+	}
+	broker, err := tasks.NewBrokerWithOptions(*listen, bopts)
+	if err != nil {
+		return err
+	}
+	defer broker.Close()
 	cache := simcache.New(db, simcache.Options{})
 	fetchURL := ""
 	if *metricsAddr != "" {

@@ -6,9 +6,18 @@
 // Usage:
 //
 //	gem5worker -broker 127.0.0.1:7733 -capacity 4
+//	gem5worker -broker 127.0.0.1:7733 -worker-id rack3-w1 -reconnect
+//
+// With -worker-id and -reconnect the worker survives broker restarts
+// and network partitions: the connection is re-dialed with exponential
+// backoff, in-flight jobs are resumed through the session protocol, and
+// finished-but-unacknowledged results are resent (the broker
+// deduplicates them).
 package main
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,7 +42,24 @@ func main() {
 		"interval between liveness heartbeats (negative disables)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics and /healthz on this address (e.g. 127.0.0.1:7789)")
+	workerID := flag.String("worker-id", "",
+		"stable session identity; enables resume/duplicate-suppression semantics (default: generated when -reconnect is set)")
+	reconnect := flag.Bool("reconnect", false,
+		"re-dial the broker with backoff after a connection loss instead of exiting")
 	flag.Parse()
+
+	id := *workerID
+	if id == "" && *reconnect {
+		// Session resumption needs a stable identity; generate one for
+		// this process so -reconnect works out of the box.
+		var buf [4]byte
+		_, _ = rand.Read(buf[:])
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%s", host, hex.EncodeToString(buf[:]))
+	}
 
 	if *metricsAddr != "" {
 		bound, _, err := statusd.ListenAndServe(*metricsAddr, statusd.New(nil))
@@ -52,16 +78,29 @@ func main() {
 			"hackback": run.ExecuteHackbackJob,
 		},
 		HeartbeatInterval: *heartbeat,
+		ID:                id,
+		Reconnect:         *reconnect,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gem5worker:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("gem5worker: connected to %s with capacity %d\n", *broker, *capacity)
+	if id != "" {
+		fmt.Printf("gem5worker: connected to %s with capacity %d as %s\n", *broker, *capacity, id)
+	} else {
+		fmt.Printf("gem5worker: connected to %s with capacity %d\n", *broker, *capacity)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	<-sig
-	w.Close()
+	select {
+	case <-sig:
+		w.Close()
+	case <-w.Done():
+		// Without -reconnect a lost broker ends the worker; with it, Done
+		// only fires after Close or when the reconnect budget is spent.
+		fmt.Fprintln(os.Stderr, "gem5worker: broker session ended")
+		os.Exit(1)
+	}
 }
 
 // bootJob runs one Figure 8 boot cell.

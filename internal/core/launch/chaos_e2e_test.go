@@ -1,0 +1,340 @@
+package launch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gem5art/internal/core/tasks"
+	"gem5art/internal/database"
+	"gem5art/internal/faultinject"
+)
+
+// The chaos suite drives whole launches — a batch of jobs standing in
+// for a parameter sweep — through injected infrastructure failures and
+// holds the line on one invariant: every job completes, no result is
+// lost, and no result is delivered twice. `make chaos` runs these
+// under -race.
+
+// execCounter counts handler executions per job ID.
+type execCounter struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newExecCounter() *execCounter { return &execCounter{m: map[string]int{}} }
+
+func (c *execCounter) inc(id string) {
+	c.mu.Lock()
+	c.m[id]++
+	c.mu.Unlock()
+}
+
+func (c *execCounter) get(id string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[id]
+}
+
+func chaosWait(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// collectOnce drains results until all want IDs are seen, failing on any
+// duplicate channel delivery.
+func collectOnce(t *testing.T, ch <-chan tasks.JobResult, seen map[string]tasks.JobResult, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for len(seen) < want {
+		select {
+		case r := <-ch:
+			if _, dup := seen[r.ID]; dup {
+				t.Fatalf("duplicate result delivery for %s", r.ID)
+			}
+			seen[r.ID] = r
+		case <-deadline:
+			t.Fatalf("launch incomplete: %d/%d results before timeout", len(seen), want)
+		}
+	}
+}
+
+// assertNoExtraResults verifies the channel stays quiet — nothing was
+// double-delivered after the launch completed.
+func assertNoExtraResults(t *testing.T, ch <-chan tasks.JobResult) {
+	t.Helper()
+	select {
+	case r := <-ch:
+		t.Fatalf("extra result after launch completed: %+v", r)
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func chaosJobID(i int) string { return fmt.Sprintf("sweep-%03d", i) }
+
+// TestChaosBrokerKillAndRestartMidLaunch kills the broker in the middle
+// of a launch and restarts it on the same address over the same durable
+// store. The reconnecting workers rejoin, the recovered queue finishes,
+// jobs completed before the crash are not re-executed, and no result is
+// lost or duplicated.
+func TestChaosBrokerKillAndRestartMidLaunch(t *testing.T) {
+	const jobs = 20
+	db := database.MustOpen(t.TempDir())
+	defer db.Close()
+
+	counts := newExecCounter()
+	handlers := map[string]tasks.JobHandler{
+		"sim": func(p json.RawMessage) (any, error) {
+			var in struct {
+				ID string `json:"id"`
+			}
+			_ = json.Unmarshal(p, &in)
+			counts.inc(in.ID)
+			time.Sleep(2 * time.Millisecond)
+			return map[string]string{"id": in.ID}, nil
+		},
+	}
+	newBroker := func(addr string) *tasks.Broker {
+		b, err := tasks.NewBrokerWithOptions(addr, tasks.BrokerOptions{
+			DB:            db,
+			Lease:         2 * time.Second,
+			CheckInterval: 10 * time.Millisecond,
+			Retry:         tasks.RetryPolicy{MaxAttempts: 5, BaseDelay: 2 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	b1 := newBroker("127.0.0.1:0")
+	addr := b1.Addr()
+	for i := 0; i < 2; i++ {
+		w, err := tasks.NewWorkerWithOptions(addr, tasks.WorkerOptions{
+			Capacity:        1,
+			Handlers:        handlers,
+			ID:              fmt.Sprintf("chaos-w%d", i),
+			Reconnect:       true,
+			ReconnectPolicy: tasks.RetryPolicy{BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+	}
+	for i := 0; i < jobs; i++ {
+		id := chaosJobID(i)
+		b1.Submit(tasks.Job{ID: id, Kind: "sim",
+			Payload: json.RawMessage(fmt.Sprintf(`{"id":%q}`, id))})
+	}
+
+	// Let part of the launch finish, then crash the broker.
+	seen := map[string]tasks.JobResult{}
+	collectOnce(t, b1.Results(), seen, 5, 10*time.Second)
+	preKill := make([]string, 0, len(seen))
+	for id := range seen {
+		preKill = append(preKill, id)
+	}
+	b1.Kill()
+
+	// Same address, same store: the workers' redial loops find the new
+	// broker and the recovered queue drains.
+	b2 := newBroker(addr)
+	defer b2.Close()
+	chaosWait(t, 10*time.Second, func() bool {
+		for i := 0; i < jobs; i++ {
+			if _, ok := b2.Result(chaosJobID(i)); !ok {
+				return false
+			}
+		}
+		return true
+	}, "recovered launch to complete")
+
+	for i := 0; i < jobs; i++ {
+		id := chaosJobID(i)
+		res, _ := b2.Result(id)
+		if res.Err != "" {
+			t.Fatalf("job %s failed: %+v", id, res)
+		}
+		if string(res.Output) != fmt.Sprintf(`{"id":%q}`, id) {
+			t.Fatalf("job %s output: %s", id, res.Output)
+		}
+		if n := counts.get(id); n < 1 || n > 2 {
+			t.Fatalf("job %s executed %d times", id, n)
+		}
+	}
+	// Jobs completed and recorded before the crash must not have been
+	// re-executed by the restarted broker.
+	for _, id := range preKill {
+		if n := counts.get(id); n != 1 {
+			t.Fatalf("pre-crash job %s re-executed: %d runs", id, n)
+		}
+	}
+}
+
+// TestChaosWorkerPartitions partitions each worker in turn during a
+// launch. Revocation retries the partitioned worker's jobs elsewhere;
+// when the partition heals the worker rejoins and its stale results are
+// suppressed. The launch completes with exactly one delivery per job.
+func TestChaosWorkerPartitions(t *testing.T) {
+	const jobs = 24
+	b, err := tasks.NewBrokerWithOptions("127.0.0.1:0", tasks.BrokerOptions{
+		Lease:            300 * time.Millisecond,
+		HeartbeatTimeout: 300 * time.Millisecond,
+		CheckInterval:    10 * time.Millisecond,
+		Retry:            tasks.RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	counts := newExecCounter()
+	handlers := map[string]tasks.JobHandler{
+		"sim": func(p json.RawMessage) (any, error) {
+			var in struct {
+				ID string `json:"id"`
+			}
+			_ = json.Unmarshal(p, &in)
+			counts.inc(in.ID)
+			time.Sleep(5 * time.Millisecond)
+			return map[string]string{"id": in.ID}, nil
+		},
+	}
+	nets := make([]*faultinject.NetChaos, 3)
+	for i := range nets {
+		nets[i] = faultinject.NewNetChaos(int64(100 + i))
+		w, err := tasks.NewWorkerWithOptions(b.Addr(), tasks.WorkerOptions{
+			Capacity:          2,
+			Handlers:          handlers,
+			HeartbeatInterval: 50 * time.Millisecond,
+			ID:                fmt.Sprintf("part-w%d", i),
+			Reconnect:         true,
+			ReconnectPolicy:   tasks.RetryPolicy{BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 2},
+			Dial:              nets[i].Dialer(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+	}
+
+	for i := 0; i < jobs; i++ {
+		id := chaosJobID(i)
+		b.Submit(tasks.Job{ID: id, Kind: "sim",
+			Payload: json.RawMessage(fmt.Sprintf(`{"id":%q}`, id))})
+	}
+	// Cut each worker off mid-launch, one after another, healing after
+	// long enough for revocation to kick in.
+	go func() {
+		for _, nc := range nets {
+			time.Sleep(30 * time.Millisecond)
+			nc.Partition()
+			time.Sleep(100 * time.Millisecond)
+			nc.Heal()
+		}
+	}()
+
+	seen := map[string]tasks.JobResult{}
+	collectOnce(t, b.Results(), seen, jobs, 30*time.Second)
+	for id, r := range seen {
+		if r.Err != "" {
+			t.Fatalf("job %s failed: %+v", id, r)
+		}
+	}
+	assertNoExtraResults(t, b.Results())
+}
+
+// TestChaosConnectionFlaps runs a launch while every live connection —
+// broker and worker side — is repeatedly cut. Sessions resume, unacked
+// results are resent, duplicates are suppressed, and the launch
+// completes exactly once per job.
+func TestChaosConnectionFlaps(t *testing.T) {
+	const jobs = 30
+	nc := faultinject.NewNetChaos(42)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tasks.NewBrokerWithOptions("", tasks.BrokerOptions{
+		Listener:         nc.Listener(raw),
+		Lease:            500 * time.Millisecond,
+		HeartbeatTimeout: 500 * time.Millisecond,
+		CheckInterval:    10 * time.Millisecond,
+		Retry:            tasks.RetryPolicy{MaxAttempts: 10, BaseDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	counts := newExecCounter()
+	handlers := map[string]tasks.JobHandler{
+		"sim": func(p json.RawMessage) (any, error) {
+			var in struct {
+				ID string `json:"id"`
+			}
+			_ = json.Unmarshal(p, &in)
+			counts.inc(in.ID)
+			time.Sleep(3 * time.Millisecond)
+			return map[string]string{"id": in.ID}, nil
+		},
+	}
+	for i := 0; i < 2; i++ {
+		w, err := tasks.NewWorkerWithOptions(b.Addr(), tasks.WorkerOptions{
+			Capacity:          2,
+			Handlers:          handlers,
+			HeartbeatInterval: 50 * time.Millisecond,
+			ID:                fmt.Sprintf("flap-w%d", i),
+			Reconnect:         true,
+			ReconnectPolicy:   tasks.RetryPolicy{BaseDelay: 5 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 2},
+			Dial:              nc.Dialer(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+	}
+
+	for i := 0; i < jobs; i++ {
+		id := chaosJobID(i)
+		b.Submit(tasks.Job{ID: id, Kind: "sim",
+			Payload: json.RawMessage(fmt.Sprintf(`{"id":%q}`, id))})
+	}
+	// Flap every live connection a handful of times while the launch is
+	// in flight.
+	stopFlapping := make(chan struct{})
+	flapperDone := make(chan struct{})
+	go func() {
+		defer close(flapperDone)
+		for i := 0; i < 8; i++ {
+			select {
+			case <-stopFlapping:
+				return
+			case <-time.After(40 * time.Millisecond):
+			}
+			nc.Flap()
+		}
+	}()
+
+	seen := map[string]tasks.JobResult{}
+	collectOnce(t, b.Results(), seen, jobs, 30*time.Second)
+	close(stopFlapping)
+	<-flapperDone
+	for id, r := range seen {
+		if r.Err != "" {
+			t.Fatalf("job %s failed: %+v", id, r)
+		}
+	}
+	assertNoExtraResults(t, b.Results())
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"gem5art/internal/core/tasks"
 	"gem5art/internal/database"
 	"gem5art/internal/sim"
 	"gem5art/internal/sim/cpu"
@@ -50,26 +51,88 @@ func BootClassCheckpoint(cache *simcache.Cache, class simcache.BootClass) ([]byt
 	return blob, hash, err
 }
 
+// CheckpointFetchRetry is the default policy for by-hash checkpoint
+// fetches: a worker joining a launch should ride out a status daemon
+// that is restarting or briefly partitioned rather than fail the whole
+// job. Transport errors, 5xx replies, and integrity mismatches (a
+// corrupt or torn transfer) are retried with backoff; 4xx replies fail
+// fast — the daemon is up and genuinely does not have the blob.
+var CheckpointFetchRetry = tasks.RetryPolicy{
+	MaxAttempts: 4,
+	BaseDelay:   200 * time.Millisecond,
+	MaxDelay:    5 * time.Second,
+	Multiplier:  2,
+	Jitter:      0.2,
+}
+
+// fetchError classifies one failed fetch attempt for the retry policy.
+type fetchError struct {
+	err       error
+	transient bool
+}
+
+func (e *fetchError) Error() string   { return e.err.Error() }
+func (e *fetchError) Unwrap() error   { return e.err }
+func (e *fetchError) Transient() bool { return e.transient }
+
 // FetchCheckpoint retrieves a boot-class checkpoint blob by content
-// hash from a status daemon's cache endpoint, verifying the bytes
-// against the hash before returning them.
+// hash from a status daemon's cache endpoint under CheckpointFetchRetry,
+// verifying the bytes against the hash on every attempt before
+// returning them.
 func FetchCheckpoint(baseURL, hash string) ([]byte, error) {
+	return FetchCheckpointWithPolicy(baseURL, hash, CheckpointFetchRetry)
+}
+
+// FetchCheckpointWithPolicy is FetchCheckpoint with an explicit retry
+// policy.
+func FetchCheckpointWithPolicy(baseURL, hash string, rp tasks.RetryPolicy) ([]byte, error) {
 	url := strings.TrimRight(baseURL, "/") + "/api/cache/checkpoints/" + hash
 	client := &http.Client{Timeout: 30 * time.Second}
+	attempts := rp.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(rp.Backoff(attempt - 1))
+		}
+		blob, err := fetchCheckpointOnce(client, url, hash)
+		if err == nil {
+			return blob, nil
+		}
+		lastErr = err
+		if !rp.Retryable(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// fetchCheckpointOnce performs one fetch attempt, including the
+// integrity check — a mismatch is a transient transfer failure, not a
+// verdict on the daemon's copy.
+func fetchCheckpointOnce(client *http.Client, url, hash string) ([]byte, error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		return nil, fmt.Errorf("run: fetch checkpoint %s: %w", hash, err)
+		return nil, &fetchError{err: fmt.Errorf("run: fetch checkpoint %s: %w", hash, err), transient: true}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("run: fetch checkpoint %s: %s", hash, resp.Status)
+		return nil, &fetchError{
+			err:       fmt.Errorf("run: fetch checkpoint %s: %s", hash, resp.Status),
+			transient: resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests,
+		}
 	}
 	blob, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("run: fetch checkpoint %s: %w", hash, err)
+		return nil, &fetchError{err: fmt.Errorf("run: fetch checkpoint %s: %w", hash, err), transient: true}
 	}
 	if got := database.HashBytes(blob); got != hash {
-		return nil, fmt.Errorf("run: checkpoint %s failed integrity check (got %s)", hash, got)
+		return nil, &fetchError{
+			err:       fmt.Errorf("run: checkpoint %s failed integrity check (got %s)", hash, got),
+			transient: true,
+		}
 	}
 	return blob, nil
 }

@@ -1,0 +1,134 @@
+package tasks
+
+import (
+	"encoding/json"
+
+	"gem5art/internal/database"
+)
+
+// durableQueue persists the broker's queue through the storage engine:
+// one document per job, carrying its payload, lifecycle state
+// (pending → inflight → done), execution count, and — once finished —
+// its result. Because the engine journals every mutation, a broker
+// crash at any point leaves a consistent queue for the next
+// NewBrokerWithOptions to recover: done jobs keep their results
+// (idempotent result acceptance across restarts), everything else
+// rejoins the pending queue with its retry budget intact.
+//
+// All methods are nil-safe: a broker without a durable queue calls
+// them on a nil receiver and they cost one comparison.
+type durableQueue struct {
+	col database.Collection
+}
+
+// savePending upserts the job as waiting for dispatch.
+func (q *durableQueue) savePending(j Job, execs int) {
+	if q == nil {
+		return
+	}
+	q.upsert(j.ID, database.Doc{
+		"kind":       j.Kind,
+		"payload":    string(j.Payload),
+		"state":      "pending",
+		"executions": execs,
+		"worker":     "",
+		"attempt":    0,
+	})
+}
+
+// saveInflight upserts the job as assigned to a worker session.
+func (q *durableQueue) saveInflight(j Job, worker string, attempt int) {
+	if q == nil {
+		return
+	}
+	q.upsert(j.ID, database.Doc{
+		"kind":       j.Kind,
+		"payload":    string(j.Payload),
+		"state":      "inflight",
+		"executions": attempt,
+		"worker":     worker,
+		"attempt":    attempt,
+	})
+}
+
+// saveDone records the job's terminal result.
+func (q *durableQueue) saveDone(res JobResult, execs int) {
+	if q == nil {
+		return
+	}
+	q.upsert(res.ID, database.Doc{
+		"state":      "done",
+		"executions": execs,
+		"err":        res.Err,
+		"output":     string(res.Output),
+	})
+}
+
+func (q *durableQueue) upsert(id string, set database.Doc) {
+	if ok, err := q.col.UpdateOne(database.Doc{"_id": id}, set); err == nil && !ok {
+		d := database.Doc{"_id": id}
+		for k, v := range set {
+			d[k] = v
+		}
+		_, _ = q.col.InsertOne(d)
+	}
+}
+
+// depth reports the unfinished and finished job counts in the store.
+func (q *durableQueue) depth() (unfinished, done int) {
+	if q == nil {
+		return 0, 0
+	}
+	done = q.col.Count(database.Doc{"state": "done"})
+	return q.col.Count(nil) - done, done
+}
+
+// recover loads the prior broker's state: unfinished jobs (pending, or
+// stranded in flight by a crash) in insertion order with their
+// execution counts, and the results of completed jobs.
+func (q *durableQueue) recover() (pending []Job, execs map[string]int, results map[string]JobResult) {
+	execs = make(map[string]int)
+	results = make(map[string]JobResult)
+	for _, d := range q.col.Find(nil) {
+		id, _ := d["_id"].(string)
+		if id == "" {
+			continue
+		}
+		state, _ := d["state"].(string)
+		execs[id] = docInt(d["executions"])
+		switch state {
+		case "done":
+			res := JobResult{ID: id}
+			res.Err, _ = d["err"].(string)
+			if out, _ := d["output"].(string); out != "" {
+				res.Output = json.RawMessage(out)
+			}
+			results[id] = res
+		default: // "pending" or "inflight": the crash orphaned it — requeue
+			j := Job{ID: id}
+			j.Kind, _ = d["kind"].(string)
+			if p, _ := d["payload"].(string); p != "" {
+				j.Payload = json.RawMessage(p)
+			}
+			pending = append(pending, j)
+			if state != "pending" {
+				q.savePending(j, execs[id])
+			}
+		}
+	}
+	return pending, execs, results
+}
+
+// docInt coerces a stored numeric field, which a JSON round-trip may
+// have widened to float64.
+func docInt(v any) int {
+	switch n := v.(type) {
+	case int:
+		return n
+	case int64:
+		return int(n)
+	case float64:
+		return int(n)
+	}
+	return 0
+}

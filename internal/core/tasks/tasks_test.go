@@ -261,7 +261,7 @@ func TestBrokerRequeuesOnWorkerLoss(t *testing.T) {
 	b.Submit(Job{ID: "sticky", Kind: "work"})
 	time.Sleep(50 * time.Millisecond) // let the job land on w1
 	phase.Store(1)
-	_ = w1.conn.Close() // simulate machine loss
+	w1.Kill() // simulate machine loss
 	close(stall)
 
 	w2, err := NewWorker(b.Addr(), 1, handlers)

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"gem5art/internal/core/tasks"
 	"gem5art/internal/database"
 	"gem5art/internal/simcache"
 	"gem5art/internal/telemetry"
@@ -291,5 +292,59 @@ func TestCacheCheckpointEndpoint(t *testing.T) {
 	var body map[string]any
 	if code := getJSON(t, ts.URL+"/api/cache/checkpoints/ffffffffffffffffffffffffffffffff", &body); code != http.StatusNotFound {
 		t.Fatalf("missing-hash status = %d", code)
+	}
+}
+
+func TestBrokerEndpointExposesSessionsAndDurableQueue(t *testing.T) {
+	s, ts := testServer(t)
+	b, err := tasks.NewBrokerWithOptions("127.0.0.1:0", tasks.BrokerOptions{DB: s.DB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	s.Broker = b
+
+	release := make(chan struct{})
+	w, err := tasks.NewWorkerWithOptions(b.Addr(), tasks.WorkerOptions{
+		Capacity: 3,
+		Handlers: map[string]tasks.JobHandler{
+			"wait": func(json.RawMessage) (any, error) { <-release; return nil, nil },
+		},
+		ID: "statusd-w1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	defer close(release) // LIFO: unblock the handler before Close drains it
+	b.Submit(tasks.Job{ID: "queued-job", Kind: "wait"})
+
+	// The session registers asynchronously after the worker's hello.
+	deadline := time.Now().Add(5 * time.Second)
+	var body struct {
+		Durable        bool `json:"durable"`
+		DurablePending int  `json:"durable_pending"`
+		Sessions       []struct {
+			ID       string `json:"id"`
+			Capacity int    `json:"capacity"`
+		} `json:"sessions"`
+	}
+	for {
+		if code := getJSON(t, ts.URL+"/api/broker", &body); code != http.StatusOK {
+			t.Fatalf("status = %d", code)
+		}
+		if len(body.Sessions) == 1 && body.DurablePending >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("broker state never settled: %+v", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !body.Durable {
+		t.Error("durable = false, want true (broker has a DB)")
+	}
+	if body.Sessions[0].ID != "statusd-w1" || body.Sessions[0].Capacity != 3 {
+		t.Errorf("session = %+v", body.Sessions[0])
 	}
 }
