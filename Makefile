@@ -16,13 +16,34 @@ race:
 
 # chaos runs the fault-injection suites under the race detector: the
 # seeded network-chaos proxy tests, the broker/worker session and
-# durability tests, and the end-to-end launches that kill the broker,
-# partition each worker, and flap every connection mid-launch. The
-# invariant under test: every launch completes with zero lost and zero
-# duplicated job results.
+# durability tests, the shard replication/failover unit suite, and the
+# end-to-end launches that kill the broker, partition each worker, flap
+# every connection, and rolling-kill all four shard primaries
+# mid-launch. The invariant under test: every launch completes with
+# zero lost and zero duplicated job results.
+#
+# The e2e launches run as a seed matrix (CHAOS_SEEDS) so a flake on one
+# seed is a deterministic repro, not a shrug. Each seed's transcript is
+# written to CHAOS_ARTIFACTS; on failure the tests also drop a repro
+# report (seed, fired faults, fleet state snapshot) and the shard
+# brokers' journals there. CHAOS_JOBS sizes the sharded launch.
+CHAOS_SEEDS ?= 4242 1337 90210
+CHAOS_JOBS ?= 10000
+CHAOS_ARTIFACTS ?= $(CURDIR)/chaos-artifacts
 chaos:
-	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/core/tasks/
-	$(GO) test -race -count=1 -run 'TestChaos|TestEndToEnd' ./internal/core/launch/
+	$(GO) test -race -count=1 ./internal/faultinject/ ./internal/core/tasks/ ./internal/core/tasks/shard/
+	@mkdir -p $(CHAOS_ARTIFACTS); rc=0; \
+	for seed in $(CHAOS_SEEDS); do \
+		log=$(CHAOS_ARTIFACTS)/chaos-seed$$seed.log; \
+		echo "=== chaos e2e: seed $$seed ($(CHAOS_JOBS) jobs) ==="; \
+		if CHAOS_SEED=$$seed CHAOS_JOBS=$(CHAOS_JOBS) CHAOS_ARTIFACTS=$(CHAOS_ARTIFACTS) \
+			$(GO) test -race -count=1 -run 'TestChaos|TestEndToEnd' ./internal/core/launch/ >$$log 2>&1; then \
+			echo "seed $$seed: PASS"; \
+		else \
+			echo "seed $$seed: FAIL"; cat $$log; rc=1; \
+		fi; \
+	done; \
+	exit $$rc
 
 # bench runs the gem5bench suites:
 #   telemetry — event-loop instrumentation overhead (budget: <5%),

@@ -11,6 +11,8 @@
 //	gem5art summary -db DIR
 //	gem5art artifacts -db DIR
 //	gem5art distribute [-listen ADDR] [-min-workers N]   (then start gem5worker)
+//	gem5art distribute -shards 4 -db DIR -metrics-addr 127.0.0.1:7788
+//	                                       (workers join with gem5worker -resolve)
 package main
 
 import (
@@ -18,12 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"gem5art/internal/core/launch"
 	"gem5art/internal/core/run"
 	"gem5art/internal/core/tasks"
+	"gem5art/internal/core/tasks/shard"
 	"gem5art/internal/database"
 	"gem5art/internal/experiments"
 	"gem5art/internal/sim/kernel"
@@ -283,6 +287,8 @@ func distributeCmd(args []string) error {
 		"revoke workers silent for this long (0 disables)")
 	dbDir := fs.String("db", "",
 		"database directory backing a durable broker queue; rerunning distribute with the same -db resumes a crashed launch instead of restarting it")
+	shards := fs.Int("shards", 1,
+		"run a sharded control plane: N shard brokers with journal-replicated standbys and automatic failover (requires -db; workers join with gem5worker -resolve)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -298,28 +304,67 @@ func distributeCmd(args []string) error {
 		Lease:            *lease,
 		Retry:            rp,
 	}
-	if *dbDir != "" {
-		bopts.DB = db // persist the queue only when the operator names a directory
+
+	// The launch submits and collects through one of two control planes:
+	// a single broker, or a sharded fleet with replicated standbys.
+	var (
+		submit  func(tasks.Job)
+		results <-chan tasks.JobResult
+		broker  *tasks.Broker
+		fleet   *shard.Fleet
+	)
+	if *shards > 1 {
+		if *dbDir == "" {
+			return fmt.Errorf("-shards %d requires -db: shard queues and their replicas are durable stores", *shards)
+		}
+		fleet, err = shard.NewFleet(shard.Options{
+			Shards: *shards,
+			Dir:    filepath.Join(*dbDir, "shards"),
+			Broker: bopts,
+		})
+		if err != nil {
+			return err
+		}
+		defer fleet.Close()
+		submit, results = fleet.Submit, fleet.Results()
+	} else {
+		if *dbDir != "" {
+			bopts.DB = db // persist the queue only when the operator names a directory
+		}
+		broker, err = tasks.NewBrokerWithOptions(*listen, bopts)
+		if err != nil {
+			return err
+		}
+		defer broker.Close()
+		submit, results = broker.Submit, broker.Results()
 	}
-	broker, err := tasks.NewBrokerWithOptions(*listen, bopts)
-	if err != nil {
-		return err
-	}
-	defer broker.Close()
 	cache := simcache.New(db, simcache.Options{})
 	fetchURL := ""
 	if *metricsAddr != "" {
 		sd := statusd.New(nil)
 		sd.Broker = broker
+		sd.Fleet = fleet
 		sd.Cache = cache
 		bound, _, err := statusd.ListenAndServe(*metricsAddr, sd)
 		if err != nil {
 			return err
 		}
 		fetchURL = "http://" + bound
-		fmt.Printf("status daemon on http://%s (/metrics, /api/broker, /api/cache, /api/events)\n", bound)
+		fmt.Printf("status daemon on http://%s (/metrics, /api/broker, /api/shards, /api/cache, /api/events)\n", bound)
 	}
-	fmt.Printf("broker listening on %s; start gem5worker -broker %s\n", broker.Addr(), broker.Addr())
+	if fleet != nil {
+		m := fleet.Map()
+		for _, info := range m.Shards {
+			fmt.Printf("shard %d primary on %s\n", info.Index, info.Addr)
+		}
+		if fetchURL != "" {
+			fmt.Printf("sharded fleet up (epoch %d); start gem5worker -resolve %s\n", m.Epoch, fetchURL)
+		} else {
+			fmt.Printf("sharded fleet up (epoch %d); use -metrics-addr so workers can resolve the shard map\n", m.Epoch)
+		}
+	} else {
+		fmt.Printf("broker listening on %s; start gem5worker -broker %s\n", broker.Addr(), broker.Addr())
+	}
 	_ = *minWorkers // workers may attach at any time; jobs queue until they do
 
 	var jobs int
@@ -334,7 +379,7 @@ func distributeCmd(args []string) error {
 			if err != nil {
 				return err
 			}
-			broker.Submit(tasks.Job{ID: fmt.Sprintf("boot-%d", i), Kind: "boot", Payload: payload})
+			submit(tasks.Job{ID: fmt.Sprintf("boot-%d", i), Kind: "boot", Payload: payload})
 		}
 		jobs = len(cells)
 	case "hackback":
@@ -365,7 +410,7 @@ func distributeCmd(args []string) error {
 			if err != nil {
 				return err
 			}
-			broker.Submit(tasks.Job{ID: fmt.Sprintf("hackback-%d", i), Kind: "hackback", Payload: payload})
+			submit(tasks.Job{ID: fmt.Sprintf("hackback-%d", i), Kind: "hackback", Payload: payload})
 		}
 		jobs = len(workloads.NPBKernels)
 	default:
@@ -373,7 +418,7 @@ func distributeCmd(args []string) error {
 	}
 	counts := map[string]int{}
 	for done := 0; done < jobs; done++ {
-		r := <-broker.Results()
+		r := <-results
 		if r.Err != "" {
 			counts["error"]++
 			continue

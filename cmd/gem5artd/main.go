@@ -3,15 +3,22 @@
 // at /api/runs, and a live SSE stream of run-lifecycle events at
 // /api/events. Point it at the same -db directory a sweep writes to.
 //
+// With -shards it instead runs as an aggregating front tier over other
+// statusd instances (one per shard broker): /api/runs and /api/broker
+// fan out across the backends and degrade — with the failures named in
+// the response — when one is unreachable.
+//
 // Usage:
 //
 //	gem5artd [-addr HOST:PORT] [-db DIR]
+//	gem5artd [-addr HOST:PORT] -shards http://h1:7788,http://h2:7788
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gem5art/internal/database"
 	"gem5art/internal/statusd"
@@ -20,21 +27,42 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7788", "HTTP listen address (use :0 for a random port)")
 	dbDir := flag.String("db", "", "experiment database directory (default: in-memory, empty)")
+	shardURLs := flag.String("shards", "",
+		"comma-separated statusd base URLs to aggregate over as a front tier (disables -db)")
 	flag.Parse()
 
-	db, err := database.Open(*dbDir)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gem5artd:", err)
-		os.Exit(1)
+	var s *statusd.Server
+	if *shardURLs != "" {
+		s = statusd.New(nil)
+		for _, u := range strings.Split(*shardURLs, ",") {
+			if u = strings.TrimSpace(strings.TrimSuffix(u, "/")); u != "" {
+				s.ShardURLs = append(s.ShardURLs, u)
+			}
+		}
+		if len(s.ShardURLs) == 0 {
+			fmt.Fprintln(os.Stderr, "gem5artd: -shards given but no URLs parsed")
+			os.Exit(1)
+		}
+	} else {
+		db, err := database.Open(*dbDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gem5artd:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		s = statusd.New(db)
 	}
-	defer db.Close()
 
-	bound, errc, err := statusd.ListenAndServe(*addr, statusd.New(db))
+	bound, errc, err := statusd.ListenAndServe(*addr, s)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gem5artd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("gem5artd listening on http://%s (metrics: /metrics, runs: /api/runs, events: /api/events)\n", bound)
+	if len(s.ShardURLs) > 0 {
+		fmt.Printf("gem5artd front tier on http://%s aggregating %d shard daemons\n", bound, len(s.ShardURLs))
+	} else {
+		fmt.Printf("gem5artd listening on http://%s (metrics: /metrics, runs: /api/runs, events: /api/events)\n", bound)
+	}
 	if err := <-errc; err != nil {
 		fmt.Fprintln(os.Stderr, "gem5artd:", err)
 		os.Exit(1)

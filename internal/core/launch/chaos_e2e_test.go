@@ -82,6 +82,29 @@ func assertNoExtraResults(t *testing.T, ch <-chan tasks.JobResult) {
 
 func chaosJobID(i int) string { return fmt.Sprintf("sweep-%03d", i) }
 
+// dumpChaosOnFailure registers a cleanup that, if the test failed,
+// writes a deterministic-repro report (seed, fired network faults, a
+// state snapshot) and copies the broker store into CHAOS_ARTIFACTS —
+// the transcript CI uploads so a chaotic failure reproduces from the
+// build output alone.
+func dumpChaosOnFailure(t *testing.T, seed int64, storeDir string, snapshot func() map[string]any, nets ...*faultinject.NetChaos) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		if storeDir != "" {
+			_ = faultinject.CopyJournals(t.Name()+"-store", storeDir)
+		}
+		var snap map[string]any
+		if snapshot != nil {
+			snap = snapshot()
+		}
+		if path, err := faultinject.WriteReport(t.Name(), seed, snap, nets...); err == nil {
+			t.Logf("chaos failure report: %s", path)
+		}
+	})
+}
+
 // TestChaosBrokerKillAndRestartMidLaunch kills the broker in the middle
 // of a launch and restarts it on the same address over the same durable
 // store. The reconnecting workers rejoin, the recovered queue finishes,
@@ -89,8 +112,10 @@ func chaosJobID(i int) string { return fmt.Sprintf("sweep-%03d", i) }
 // lost or duplicated.
 func TestChaosBrokerKillAndRestartMidLaunch(t *testing.T) {
 	const jobs = 20
-	db := database.MustOpen(t.TempDir())
+	dbDir := t.TempDir()
+	db := database.MustOpen(dbDir)
 	defer db.Close()
+	dumpChaosOnFailure(t, 0, dbDir, nil)
 
 	counts := newExecCounter()
 	handlers := map[string]tasks.JobHandler{
@@ -211,9 +236,11 @@ func TestChaosWorkerPartitions(t *testing.T) {
 			return map[string]string{"id": in.ID}, nil
 		},
 	}
+	seed := faultinject.SeedFromEnv(100)
+	t.Logf("chaos seed %d (set %s to replay)", seed, faultinject.SeedEnv)
 	nets := make([]*faultinject.NetChaos, 3)
 	for i := range nets {
-		nets[i] = faultinject.NewNetChaos(int64(100 + i))
+		nets[i] = faultinject.NewNetChaos(seed + int64(i))
 		w, err := tasks.NewWorkerWithOptions(b.Addr(), tasks.WorkerOptions{
 			Capacity:          2,
 			Handlers:          handlers,
@@ -228,6 +255,10 @@ func TestChaosWorkerPartitions(t *testing.T) {
 		}
 		defer w.Close()
 	}
+	dumpChaosOnFailure(t, seed, "", func() map[string]any {
+		st := b.State()
+		return map[string]any{"pending": st.Pending, "inflight": len(st.InFlight), "workers": st.Workers}
+	}, nets...)
 
 	for i := 0; i < jobs; i++ {
 		id := chaosJobID(i)
@@ -261,7 +292,9 @@ func TestChaosWorkerPartitions(t *testing.T) {
 // completes exactly once per job.
 func TestChaosConnectionFlaps(t *testing.T) {
 	const jobs = 30
-	nc := faultinject.NewNetChaos(42)
+	seed := faultinject.SeedFromEnv(42)
+	t.Logf("chaos seed %d (set %s to replay)", seed, faultinject.SeedEnv)
+	nc := faultinject.NewNetChaos(seed)
 	raw, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -277,6 +310,10 @@ func TestChaosConnectionFlaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
+	dumpChaosOnFailure(t, seed, "", func() map[string]any {
+		st := b.State()
+		return map[string]any{"pending": st.Pending, "inflight": len(st.InFlight), "workers": st.Workers}
+	}, nc)
 
 	counts := newExecCounter()
 	handlers := map[string]tasks.JobHandler{

@@ -1,0 +1,208 @@
+package launch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gem5art/internal/core/tasks"
+	"gem5art/internal/core/tasks/shard"
+	"gem5art/internal/faultinject"
+	"gem5art/internal/telemetry"
+)
+
+// chaosJobs sizes the sharded chaos launch: CHAOS_JOBS if set (the
+// Makefile's chaos matrix runs 10000), else a default that keeps plain
+// `go test ./...` quick.
+func chaosJobs(def int) int {
+	if v := os.Getenv("CHAOS_JOBS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestChaosShardedFleetRollingKills is the control-plane failover
+// drill: a 4-shard fleet runs a launch while every shard primary is
+// killed in turn — the first mid-dispatch — and each standby, fed by
+// journal replication, is promoted in its place. The launch must
+// complete with every job delivered exactly once at the fleet edge:
+// zero lost, zero duplicated, under -race.
+//
+// The NetChaos seed comes from CHAOS_SEED, and a failure writes a
+// repro report (seed, fired network faults, fleet state snapshot) plus
+// the shard brokers' journals into CHAOS_ARTIFACTS.
+func TestChaosShardedFleetRollingKills(t *testing.T) {
+	const shards = 4
+	jobs := chaosJobs(1200)
+	seed := faultinject.SeedFromEnv(4242)
+	t.Logf("chaos seed %d, %d jobs (repro: CHAOS_SEED=%d go test -race -run '^%s$' ./internal/core/launch/)",
+		seed, jobs, seed, t.Name())
+
+	// One NetChaos per shard, so faults are scoped to a shard's links —
+	// a delayed or torn connection on shard 2 must not slow shard 0.
+	nets := make([]*faultinject.NetChaos, shards)
+	for i := range nets {
+		nets[i] = faultinject.NewNetChaos(seed+int64(i), faultinject.NetRule{
+			Kind: faultinject.NetDelay, P: 0.002, Delay: 2 * time.Millisecond,
+		})
+	}
+
+	fleetDir := t.TempDir()
+	f, err := shard.NewFleet(shard.Options{
+		Shards: shards,
+		Dir:    fleetDir,
+		Broker: tasks.BrokerOptions{
+			HeartbeatTimeout: 2 * time.Second,
+			Lease:            4 * time.Second,
+			CheckInterval:    20 * time.Millisecond,
+			Retry:            tasks.RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond},
+		},
+		LeaseTTL:     250 * time.Millisecond,
+		ShipInterval: 15 * time.Millisecond,
+		Listener: func(shardIdx int) (net.Listener, error) {
+			raw, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			return nets[shardIdx].Listener(raw), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// On failure, leave a deterministic-repro transcript behind.
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		snapshot := map[string]any{
+			"epoch":       f.Epoch(),
+			"outstanding": f.Outstanding(),
+			"jobs":        jobs,
+		}
+		for i := 0; i < shards; i++ {
+			st := f.Broker(i).State()
+			snapshot[fmt.Sprintf("shard_%d", i)] = map[string]any{
+				"addr": f.ShardAddr(i), "lag_bytes": f.Lag(i),
+				"pending": st.Pending, "inflight": len(st.InFlight),
+			}
+			_ = faultinject.CopyJournals(fmt.Sprintf("shard-%d", i), fleetDir)
+		}
+		if path, err := faultinject.WriteReport(t.Name(), seed, snapshot, nets...); err == nil {
+			t.Logf("chaos failure report: %s", path)
+		}
+	})
+
+	counts := newExecCounter()
+	handlers := map[string]tasks.JobHandler{
+		"sim": func(p json.RawMessage) (any, error) {
+			var in struct {
+				ID string `json:"id"`
+			}
+			_ = json.Unmarshal(p, &in)
+			counts.inc(in.ID)
+			return map[string]string{"id": in.ID}, nil
+		},
+	}
+	// Two resolver-dialing workers per shard: every dial — initial or a
+	// reconnect after a fence — resolves the shard's current primary
+	// through the routing layer, which is how workers re-route after a
+	// promotion without being told.
+	for i := 0; i < shards; i++ {
+		i := i
+		for j := 0; j < 2; j++ {
+			w, err := tasks.NewWorkerWithOptions(f.ShardAddr(i), tasks.WorkerOptions{
+				Capacity:          4,
+				Handlers:          handlers,
+				HeartbeatInterval: 100 * time.Millisecond,
+				ID:                fmt.Sprintf("shard%d-w%d", i, j),
+				Reconnect:         true,
+				ReconnectPolicy:   tasks.RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Multiplier: 2},
+				Dial: func(string) (net.Conn, error) {
+					return nets[i].Dial("tcp", f.ShardAddr(i))
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Kill()
+		}
+	}
+
+	baseEpoch := f.Epoch()
+	for i := 0; i < jobs; i++ {
+		id := chaosJobID(i)
+		f.Submit(tasks.Job{ID: id, Kind: "sim",
+			Payload: json.RawMessage(fmt.Sprintf(`{"id":%q}`, id))})
+	}
+
+	// Rolling kills, interleaved with the launch: before each kill a
+	// slice of results is collected (so the kill provably lands
+	// mid-dispatch, with at least half the launch undelivered), then the
+	// primary dies and the next slice is not collectable until its
+	// standby has been promoted. The fleet is degraded throughout but
+	// never fully dark.
+	seen := map[string]tasks.JobResult{}
+	for i := 0; i < shards; i++ {
+		threshold := jobs / 8 * (i + 1) // caps at jobs/2 on the last kill
+		collectOnce(t, f.Results(), seen, threshold, 60*time.Second)
+		f.KillShard(i)
+		want := baseEpoch + uint64(i) + 1
+		chaosWait(t, 20*time.Second, func() bool { return f.Epoch() >= want },
+			fmt.Sprintf("standby promotion on shard %d", i))
+	}
+	collectOnce(t, f.Results(), seen, jobs, 120*time.Second)
+	for id, r := range seen {
+		if r.Err != "" {
+			t.Fatalf("job %s failed: %+v", id, r)
+		}
+	}
+	assertNoExtraResults(t, f.Results())
+	if n := f.Outstanding(); n != 0 {
+		t.Fatalf("%d jobs still outstanding after full delivery", n)
+	}
+	if got := f.Epoch(); got < baseEpoch+shards {
+		t.Fatalf("fleet epoch %d after %d kills, want >= %d", got, shards, baseEpoch+shards)
+	}
+
+	// Handler re-execution is allowed (at-least-once, bounded by
+	// replication lag) but must be the exception, not the rule.
+	reexecuted := 0
+	for i := 0; i < jobs; i++ {
+		if counts.get(chaosJobID(i)) > 1 {
+			reexecuted++
+		}
+	}
+	if reexecuted > jobs/4 {
+		t.Fatalf("%d of %d jobs re-executed — replication is not limiting failover replay", reexecuted, jobs)
+	}
+
+	// The shard control plane exports its counters: failovers, epoch,
+	// and per-shard replication lag must all be visible on the default
+	// registry for /metrics to scrape.
+	snap := telemetry.Default.Snapshot()
+	if v := snap["gem5art_shard_failovers_total"]; v < shards {
+		t.Fatalf("gem5art_shard_failovers_total = %v, want >= %d", v, shards)
+	}
+	if v := snap["gem5art_shard_epoch"]; v < float64(baseEpoch+shards) {
+		t.Fatalf("gem5art_shard_epoch = %v, want >= %d", v, baseEpoch+shards)
+	}
+	lagSeries := 0
+	for k := range snap {
+		if strings.HasPrefix(k, "gem5art_shard_replication_lag_bytes{") {
+			lagSeries++
+		}
+	}
+	if lagSeries < shards {
+		t.Fatalf("replication lag exported for %d shards, want %d", lagSeries, shards)
+	}
+}

@@ -229,6 +229,21 @@ func NewBrokerWithOptions(addr string, opts BrokerOptions) (*Broker, error) {
 // Addr returns the broker's listen address.
 func (b *Broker) Addr() string { return b.ln.Addr().String() }
 
+// Done is closed when the broker stops — gracefully via Close or
+// abruptly via Kill. The shard coordinator's lease renewal selects on
+// it, and the status daemon's health check reads it through Closed.
+func (b *Broker) Done() <-chan struct{} { return b.done }
+
+// Closed reports whether the broker has stopped serving.
+func (b *Broker) Closed() bool {
+	select {
+	case <-b.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Submit queues a job for any worker. With a durable queue, Submit is
 // idempotent across broker restarts: a job that already completed
 // redelivers its recorded result instead of executing again, and a job

@@ -1,0 +1,234 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"gem5art/internal/core/tasks"
+)
+
+func testFleet(t *testing.T, shards int) *Fleet {
+	t.Helper()
+	f, err := NewFleet(Options{
+		Shards: shards,
+		Dir:    t.TempDir(),
+		Broker: tasks.BrokerOptions{
+			HeartbeatTimeout: 400 * time.Millisecond,
+			Lease:            800 * time.Millisecond,
+			Retry:            tasks.RetryPolicy{MaxAttempts: 5, BaseDelay: 5 * time.Millisecond},
+		},
+		LeaseTTL:     120 * time.Millisecond,
+		ShipInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// fleetWorker runs one resolver-dialing worker pinned to a shard: every
+// dial (initial or reconnect) resolves the shard's *current* primary,
+// which is how workers re-route after a promotion.
+func fleetWorker(t *testing.T, f *Fleet, shard int) *tasks.Worker {
+	t.Helper()
+	echo := func(payload json.RawMessage) (any, error) { return string(payload), nil }
+	w, err := tasks.NewWorkerWithOptions(f.ShardAddr(shard), tasks.WorkerOptions{
+		Capacity:          4,
+		Handlers:          map[string]tasks.JobHandler{"echo": echo},
+		HeartbeatInterval: 25 * time.Millisecond,
+		ID:                fmt.Sprintf("shard%d-worker", shard),
+		Reconnect:         true,
+		Dial: func(string) (net.Conn, error) {
+			return net.Dial("tcp", f.ShardAddr(shard))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Kill)
+	return w
+}
+
+// collectFleet drains n results, failing on duplicates or timeout.
+func collectFleet(t *testing.T, f *Fleet, n int, timeout time.Duration) map[string]tasks.JobResult {
+	t.Helper()
+	got := make(map[string]tasks.JobResult, n)
+	deadline := time.After(timeout)
+	for len(got) < n {
+		select {
+		case res, ok := <-f.Results():
+			if !ok {
+				t.Fatalf("results channel closed with %d/%d collected", len(got), n)
+			}
+			if _, dup := got[res.ID]; dup {
+				t.Fatalf("duplicate result for %s", res.ID)
+			}
+			got[res.ID] = res
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d results (outstanding %d)", len(got), n, f.Outstanding())
+		}
+	}
+	return got
+}
+
+func TestFleetRoutesAcrossShards(t *testing.T) {
+	f := testFleet(t, 3)
+	for i := 0; i < f.Shards(); i++ {
+		fleetWorker(t, f, i)
+	}
+	const jobs = 60
+	owners := make(map[int]int)
+	for i := 0; i < jobs; i++ {
+		id := fmt.Sprintf("run-%03d", i)
+		owners[f.Owner(id)]++
+		f.Submit(tasks.Job{ID: id, Kind: "echo", Payload: json.RawMessage(fmt.Sprintf(`{"n":%d}`, i))})
+	}
+	if len(owners) != 3 {
+		t.Fatalf("60 jobs landed on %d of 3 shards", len(owners))
+	}
+	got := collectFleet(t, f, jobs, 15*time.Second)
+	for i := 0; i < jobs; i++ {
+		id := fmt.Sprintf("run-%03d", i)
+		if res, ok := got[id]; !ok {
+			t.Fatalf("missing result for %s", id)
+		} else if res.Err != "" {
+			t.Fatalf("%s failed: %s", id, res.Err)
+		}
+	}
+	if f.Outstanding() != 0 {
+		t.Fatalf("%d jobs still outstanding", f.Outstanding())
+	}
+}
+
+func TestFleetFailoverPromotesStandby(t *testing.T) {
+	f := testFleet(t, 2)
+	for i := 0; i < f.Shards(); i++ {
+		fleetWorker(t, f, i)
+	}
+	const jobs = 40
+	victim := f.Owner("run-000") // kill the shard owning the first job
+	for i := 0; i < jobs; i++ {
+		f.Submit(tasks.Job{ID: fmt.Sprintf("run-%03d", i), Kind: "echo", Payload: json.RawMessage(`{}`)})
+	}
+	f.KillShard(victim)
+
+	got := collectFleet(t, f, jobs, 20*time.Second)
+	for id, res := range got {
+		if res.Err != "" {
+			t.Fatalf("%s failed: %s", id, res.Err)
+		}
+	}
+	if f.Epoch() == 0 {
+		t.Fatal("no failover recorded: fleet epoch still 0")
+	}
+	m := f.Map()
+	if m.Shards[victim].Epoch == 0 {
+		t.Fatalf("victim shard epoch still 0 after kill: %+v", m)
+	}
+	// The promoted broker serves a different address than the dead one.
+	if f.Broker(victim).Closed() {
+		t.Fatal("victim shard's current primary is not serving")
+	}
+}
+
+func TestFleetRollingKills(t *testing.T) {
+	f := testFleet(t, 2)
+	for i := 0; i < f.Shards(); i++ {
+		fleetWorker(t, f, i)
+	}
+	const jobs = 50
+	for i := 0; i < jobs; i++ {
+		f.Submit(tasks.Job{ID: fmt.Sprintf("run-%03d", i), Kind: "echo", Payload: json.RawMessage(`{}`)})
+	}
+	// Kill each shard's primary in turn, waiting for the first promotion
+	// before the second kill so the fleet is never fully dark.
+	f.KillShard(0)
+	waitEpoch(t, f, 1, 5*time.Second)
+	f.KillShard(1)
+	waitEpoch(t, f, 2, 5*time.Second)
+
+	got := collectFleet(t, f, jobs, 30*time.Second)
+	if len(got) != jobs {
+		t.Fatalf("collected %d/%d", len(got), jobs)
+	}
+}
+
+func waitEpoch(t *testing.T, f *Fleet, want uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if f.Epoch() >= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("fleet epoch %d never reached %d", f.Epoch(), want)
+}
+
+func TestFleetSubmitAtFencing(t *testing.T) {
+	f := testFleet(t, 2)
+	for i := 0; i < f.Shards(); i++ {
+		fleetWorker(t, f, i)
+	}
+	job := tasks.Job{ID: "fenced-run", Kind: "echo", Payload: json.RawMessage(`{}`)}
+	owner := f.Owner(job.ID)
+
+	// Wrong shard: fenced regardless of epoch.
+	if err := f.SubmitAt(1-owner, f.Epoch(), job); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("wrong-shard submit: err = %v, want ErrNotOwner", err)
+	}
+
+	// Fail the owner over, then submit with the pre-failover epoch: the
+	// stale map is fenced, and re-resolving succeeds.
+	staleEpoch := f.Map().Shards[owner].Epoch
+	f.KillShard(owner)
+	waitEpoch(t, f, 1, 5*time.Second)
+	if err := f.SubmitAt(owner, staleEpoch, job); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("stale-epoch submit: err = %v, want ErrNotOwner", err)
+	}
+	var notOwner *NotOwnerError
+	err := f.SubmitAt(owner, staleEpoch, job)
+	if !errors.As(err, &notOwner) || notOwner.CurrentEpoch == staleEpoch {
+		t.Fatalf("fencing error does not carry the current epoch: %v", err)
+	}
+	if err := f.SubmitAt(owner, f.Map().Shards[owner].Epoch, job); err != nil {
+		t.Fatalf("current-epoch submit fenced: %v", err)
+	}
+	res := collectFleet(t, f, 1, 10*time.Second)
+	if _, ok := res[job.ID]; !ok {
+		t.Fatalf("fenced-then-resolved job never completed: %v", res)
+	}
+}
+
+// A job whose result was recorded and shipped before the kill must not
+// re-execute visibly: the promoted broker replays the recorded result
+// on resubmit, and the fleet edge delivers it exactly once.
+func TestFleetFailoverReplaysRecordedResults(t *testing.T) {
+	f := testFleet(t, 1)
+	fleetWorker(t, f, 0)
+	const jobs = 10
+	for i := 0; i < jobs; i++ {
+		f.Submit(tasks.Job{ID: fmt.Sprintf("run-%d", i), Kind: "echo", Payload: json.RawMessage(`{}`)})
+	}
+	got := collectFleet(t, f, jobs, 10*time.Second)
+	// Everything is done and delivered; let replication catch up, then
+	// kill. The promotion must not redeliver anything.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Lag(0) > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	f.KillShard(0)
+	waitEpoch(t, f, 1, 5*time.Second)
+	select {
+	case res, ok := <-f.Results():
+		if ok {
+			t.Fatalf("post-failover duplicate delivery: %+v (had %d)", res, len(got))
+		}
+	case <-time.After(300 * time.Millisecond):
+	}
+}

@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Info describes one shard's current primary in a routing map.
+type Info struct {
+	// Index is the shard's position on the ring — stable across
+	// failovers; only the address and epoch behind it change.
+	Index int `json:"index"`
+	// Addr is the current primary broker's listen address.
+	Addr string `json:"addr"`
+	// Epoch is the shard's promotion count. A submit stamped with a
+	// stale epoch is fenced with *NotOwnerError.
+	Epoch uint64 `json:"epoch"`
+}
+
+// Map is the epoch-numbered routing state the fleet serves to workers
+// and the status daemon: which broker owns each shard, and how stale a
+// client's view is allowed to be (not at all).
+type Map struct {
+	// Epoch is the fleet-wide map version, bumped on every promotion.
+	Epoch uint64 `json:"epoch"`
+	// VNodes is the ring's virtual-node count, so remote clients can
+	// rebuild an identical ring and route locally.
+	VNodes int `json:"vnodes"`
+	// Shards lists every shard's current primary, indexed by ring slot.
+	Shards []Info `json:"shards"`
+}
+
+// Ring rebuilds the consistent-hash ring this map routes over.
+func (m Map) Ring() *Ring { return NewRing(len(m.Shards), m.VNodes) }
+
+// ErrNotOwner matches any *NotOwnerError via errors.Is.
+var ErrNotOwner = errors.New("shard: not owner")
+
+// NotOwnerError is the fencing error: a submit reached a shard that no
+// longer (or never) owned the job at the caller's epoch. Callers should
+// re-fetch the map and retry against CurrentEpoch's owner.
+type NotOwnerError struct {
+	Shard        int    // shard the request was addressed to
+	WantEpoch    uint64 // epoch the caller routed with
+	CurrentEpoch uint64 // shard's actual epoch
+	Reason       string
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("shard %d: not owner (routed at epoch %d, current %d): %s",
+		e.Shard, e.WantEpoch, e.CurrentEpoch, e.Reason)
+}
+
+func (e *NotOwnerError) Is(target error) bool { return target == ErrNotOwner }

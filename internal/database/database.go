@@ -129,6 +129,7 @@ type DB struct {
 	collections map[string]*collection
 	files       *fileStore
 	compactWG   sync.WaitGroup
+	closed      bool // set by Close; surfaced through Health
 }
 
 // Collection returns the named collection, creating it if necessary.
@@ -177,6 +178,9 @@ func (db *DB) snapshot() []*collection {
 // Close only drains background compactions and closes file handles; it
 // does not rewrite collections. Snapshot-mode stores flush in full.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
 	if db.dir == "" {
 		return nil
 	}

@@ -1,0 +1,208 @@
+package database
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"gem5art/internal/database/storage"
+)
+
+// Replication hooks: the journal that makes a collection crash-safe
+// (journal.go) doubles as a replication log. A primary exposes its
+// framed journal bytes through JournalSegment; a standby applies them
+// with ApplyJournalSegment, which journals each record locally so the
+// replica is itself durable and a broker can recover from it after a
+// promotion. CollectionSnapshot/RestoreCollection are the full-resync
+// path for when the incremental stream is unusable — first contact, or
+// a primary whose journal was reset by compaction.
+//
+// The contract is byte-offset based and torn-tail tolerant: a segment
+// that ends mid-record (a crash or a chaotic network tearing the
+// shipment) applies its valid prefix and reports how many bytes were
+// consumed; the shipper resumes from that offset, so a torn shipment
+// never diverges the replica — it only delays it.
+
+// ErrJournalReset reports that the requested offset lies beyond the
+// journal's current extent — the journal was compacted (or replaced)
+// since the reader's last segment. Incremental shipping cannot resume;
+// the reader must fall back to a full snapshot resync.
+var ErrJournalReset = errors.New("database: journal reset since last segment; full resync required")
+
+// ErrNotJournaled reports that the collection has no journal to ship —
+// the store is in-memory or opened with Options.Journal disabled.
+var ErrNotJournaled = errors.New("database: collection is not journaled")
+
+// JournalSegment returns up to max bytes (0 = 1 MiB) of the named
+// collection's journal starting at byte offset from, together with the
+// offset the next read should start at. An empty segment with
+// next == from means the reader is caught up. The read is taken under
+// the collection lock, so the returned bytes are a stable prefix of
+// whole appended records — any tearing a transport adds downstream is
+// the receiver's torn-tail path, not ours.
+func (db *DB) JournalSegment(collection string, from int64, max int) (data []byte, next int64, err error) {
+	if max <= 0 {
+		max = 1 << 20
+	}
+	c := db.collection(collection)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var size int64
+	if c.journal != nil {
+		size = c.journal.size
+	} else if db.dir == "" || !db.opts.Journal {
+		return nil, from, ErrNotJournaled
+	}
+	if from > size {
+		return nil, from, ErrJournalReset
+	}
+	if from == size {
+		return nil, from, nil
+	}
+	f, err := os.Open(journalPath(db.dir, collection))
+	if err != nil {
+		return nil, from, fmt.Errorf("database: journal segment %s: %w", collection, err)
+	}
+	defer f.Close()
+	n := size - from
+	if n > int64(max) {
+		n = int64(max)
+	}
+	data = make([]byte, n)
+	read, err := f.ReadAt(data, from)
+	if err != nil && err != io.EOF {
+		return nil, from, fmt.Errorf("database: journal segment %s: %w", collection, err)
+	}
+	data = data[:read]
+	return data, from + int64(read), nil
+}
+
+// JournalSize reports the named collection's current journal extent in
+// bytes — the replication shipper's lag baseline.
+func (db *DB) JournalSize(collection string) int64 {
+	c := db.collection(collection)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return 0
+	}
+	return c.journal.size
+}
+
+// ApplyJournalSegment decodes the framed records in data and applies
+// them to the named collection, journaling each locally. It returns the
+// number of records applied and the byte length of the valid prefix
+// consumed. A segment ending in a torn or corrupt record is not an
+// error: the valid prefix is applied and consumed reports where the
+// next shipment must resume — truncate-and-resync, the same recovery
+// startup replay uses for a crash mid-append.
+func (db *DB) ApplyJournalSegment(collection string, data []byte) (applied int, consumed int64, err error) {
+	c := db.collection(collection)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail: resume from consumed
+		}
+		rec, ok := decodeJournalLine(data[:nl])
+		if !ok {
+			break // corrupt or half-written record
+		}
+		c.applyRecordLocked(rec)
+		c.logRecord(rec)
+		applied++
+		consumed += int64(nl + 1)
+		data = data[nl+1:]
+	}
+	if applied > 0 && len(c.uniques) > 0 {
+		c.rebuildIndexesLocked()
+	}
+	return applied, consumed, nil
+}
+
+// CollectionSnapshot returns deep copies of every document in the named
+// collection together with the journal extent the snapshot corresponds
+// to — an atomic basis for a full resync: restore the documents, then
+// resume incremental shipping from the returned offset.
+func (db *DB) CollectionSnapshot(collection string) (docs []Doc, journalSize int64) {
+	c := db.collection(collection)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	docs = make([]Doc, 0, len(c.docs))
+	for _, d := range c.docs {
+		docs = append(docs, storage.CloneDoc(d))
+	}
+	if c.journal != nil {
+		journalSize = c.journal.size
+	}
+	return docs, journalSize
+}
+
+// RestoreCollection replaces the named collection's contents with deep
+// copies of docs — the receiving half of a full resync. The restored
+// state is made durable the way compaction is: snapshot written
+// atomically, local journal reset, so a replica crash right after a
+// resync reloads the restored state, not the pre-resync one.
+func (db *DB) RestoreCollection(collection string, docs []Doc) error {
+	c := db.collection(collection)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.docs = c.docs[:0]
+	c.byID = make(map[string]int, len(docs))
+	for _, d := range docs {
+		cp := storage.CloneDoc(d)
+		id := fmt.Sprint(cp["_id"])
+		if pos, ok := c.byID[id]; ok {
+			c.docs[pos] = cp
+			continue
+		}
+		c.docs = append(c.docs, cp)
+		c.byID[id] = len(c.docs) - 1
+		c.bumpNextID(id)
+	}
+	c.rebuildIndexesLocked()
+	if db.dir == "" { // in-memory store: nothing to persist
+		return nil
+	}
+	if err := c.writeSnapshotLocked(); err != nil {
+		return fmt.Errorf("database: restore %s: %w", collection, err)
+	}
+	if c.journal == nil {
+		c.ensureJournal()
+	}
+	if c.journal != nil {
+		if err := c.journal.reset(); err != nil {
+			return fmt.Errorf("database: restore %s: %w", collection, err)
+		}
+		dbJournalBytes.With(collection).Set(0)
+	}
+	return nil
+}
+
+// Health reports whether the store can accept reads and writes: nil
+// while open and error-free, an error once Close ran or any
+// collection's journal recorded a sticky write/sync failure. The status
+// daemon's /healthz turns this into a 503 with the reason attached.
+func (db *DB) Health() error {
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return errors.New("database: store is closed")
+	}
+	for _, c := range db.snapshot() {
+		c.mu.RLock()
+		err := error(nil)
+		if c.journal != nil {
+			err = c.journal.err
+		}
+		c.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

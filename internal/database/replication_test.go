@@ -1,0 +1,249 @@
+package database
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// openDB opens a concrete *DB for replication tests, which exercise
+// engine-level hooks the storage.Store interface does not carry.
+func openDB(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := open(dir, Options{Journal: true, SyncOnCommit: false, CompactAfter: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// replDocsByID normalizes documents through a JSON round-trip so a
+// primary's in-memory ints compare equal to a replica's replayed
+// float64s — the same widening a plain restart produces.
+func replDocsByID(t *testing.T, db *DB, col string) map[string]Doc {
+	t.Helper()
+	out := map[string]Doc{}
+	for _, d := range db.Collection(col).Find(nil) {
+		raw, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var norm Doc
+		if err := json.Unmarshal(raw, &norm); err != nil {
+			t.Fatal(err)
+		}
+		out[fmt.Sprint(d["_id"])] = norm
+	}
+	return out
+}
+
+func assertConverged(t *testing.T, primary, replica *DB, col string) {
+	t.Helper()
+	p, r := replDocsByID(t, primary, col), replDocsByID(t, replica, col)
+	if !reflect.DeepEqual(p, r) {
+		t.Fatalf("replica diverged from primary:\nprimary: %v\nreplica: %v", p, r)
+	}
+}
+
+// shipAll drains the primary's journal into the replica from offset,
+// returning the new offset.
+func shipAll(t *testing.T, primary, replica *DB, col string, from int64) int64 {
+	t.Helper()
+	for {
+		data, next, err := primary.JournalSegment(col, from, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			return from
+		}
+		_, consumed, err := replica.ApplyJournalSegment(col, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if consumed != int64(len(data)) {
+			t.Fatalf("clean segment partially consumed: %d/%d", consumed, len(data))
+		}
+		from = next
+	}
+}
+
+func TestJournalSegmentShipAndReplay(t *testing.T) {
+	primary := openDB(t, t.TempDir())
+	replica := openDB(t, t.TempDir())
+	defer primary.Close()
+	defer replica.Close()
+
+	col := "queue"
+	for i := 0; i < 20; i++ {
+		if _, err := primary.Collection(col).InsertOne(Doc{"_id": fmt.Sprintf("job-%02d", i), "state": "pending", "n": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	off := shipAll(t, primary, replica, col, 0)
+
+	// Mutations after the first shipment arrive incrementally.
+	for i := 0; i < 10; i++ {
+		if _, err := primary.Collection(col).UpdateOne(Doc{"_id": fmt.Sprintf("job-%02d", i)}, Doc{"state": "done"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary.Collection(col).DeleteMany(Doc{"_id": "job-19"})
+	off = shipAll(t, primary, replica, col, off)
+	assertConverged(t, primary, replica, col)
+
+	if got := replica.Collection(col).Count(Doc{"state": "done"}); got != 10 {
+		t.Fatalf("replica done count = %d, want 10", got)
+	}
+	if off != primary.JournalSize(col) {
+		t.Fatalf("offset %d != primary journal size %d", off, primary.JournalSize(col))
+	}
+}
+
+// TestApplyJournalSegmentTornTail is the standby-receives-a-torn-tail
+// scenario: a shipment cut mid-record applies its valid prefix, reports
+// the consumed offset, and the resumed shipment from that offset
+// converges the replica with the primary — no divergence, no skipped
+// or doubled records.
+func TestApplyJournalSegmentTornTail(t *testing.T) {
+	primary := openDB(t, t.TempDir())
+	replica := openDB(t, t.TempDir())
+	defer primary.Close()
+	defer replica.Close()
+
+	col := "queue"
+	for i := 0; i < 8; i++ {
+		if _, err := primary.Collection(col).InsertOne(Doc{"_id": fmt.Sprintf("job-%d", i), "state": "pending"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, _, err := primary.JournalSegment(col, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the shipment in the middle of its last record.
+	cut := len(data) - len(data)/6
+	torn := data[:cut]
+	applied, consumed, err := replica.ApplyJournalSegment(col, torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied >= 8 || applied == 0 {
+		t.Fatalf("torn segment applied %d records, want a strict prefix of 8", applied)
+	}
+	if consumed >= int64(cut) {
+		t.Fatalf("consumed %d of a %d-byte torn segment", consumed, cut)
+	}
+	if got := replica.Collection(col).Count(nil); got != applied {
+		t.Fatalf("replica holds %d docs after torn apply, want %d", got, applied)
+	}
+
+	// A corrupted (bit-flipped, not merely truncated) tail must stop the
+	// apply at the same boundary: the valid prefix.
+	corrupt := append(append([]byte(nil), data[:consumed]...), data[consumed:]...)
+	corrupt[consumed+int64(10)] ^= 0xff
+	applied2, consumed2, err := replica.ApplyJournalSegment(col, corrupt[consumed:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied2 != 0 || consumed2 != 0 {
+		t.Fatalf("corrupt record applied: %d records, %d bytes", applied2, consumed2)
+	}
+
+	// Resync from the consumed offset with clean bytes: full convergence.
+	if _, c2, err := replica.ApplyJournalSegment(col, data[consumed:]); err != nil {
+		t.Fatal(err)
+	} else if consumed+c2 != int64(len(data)) {
+		t.Fatalf("resumed shipment consumed %d, want %d", consumed+c2, int64(len(data))-consumed)
+	}
+	assertConverged(t, primary, replica, col)
+}
+
+// A replica that crashes after applying shipped records must reload
+// them: ApplyJournalSegment journals locally.
+func TestReplicaAppliedSegmentsAreDurable(t *testing.T) {
+	primary := openDB(t, t.TempDir())
+	repDir := t.TempDir()
+	replica := openDB(t, repDir)
+	defer primary.Close()
+
+	col := "queue"
+	for i := 0; i < 5; i++ {
+		if _, err := primary.Collection(col).InsertOne(Doc{"_id": fmt.Sprintf("job-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shipAll(t, primary, replica, col, 0)
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := openDB(t, repDir)
+	defer reopened.Close()
+	assertConverged(t, primary, reopened, col)
+}
+
+func TestJournalSegmentResetAndSnapshotResync(t *testing.T) {
+	primary := openDB(t, t.TempDir())
+	replica := openDB(t, t.TempDir())
+	defer primary.Close()
+	defer replica.Close()
+
+	col := "queue"
+	for i := 0; i < 6; i++ {
+		if _, err := primary.Collection(col).InsertOne(Doc{"_id": fmt.Sprintf("job-%d", i), "state": "pending"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reading past the journal's extent signals a reset.
+	if _, _, err := primary.JournalSegment(col, primary.JournalSize(col)+100, 0); !errors.Is(err, ErrJournalReset) {
+		t.Fatalf("err = %v, want ErrJournalReset", err)
+	}
+
+	// Full resync: snapshot + offset, then incremental from there.
+	docs, off := primary.CollectionSnapshot(col)
+	if err := replica.RestoreCollection(col, docs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Collection(col).UpdateOne(Doc{"_id": "job-0"}, Doc{"state": "done"}); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, primary, replica, col, off)
+	assertConverged(t, primary, replica, col)
+
+	// RestoreCollection is durable: a reopened replica still has it.
+	names := replica.CollectionNames()
+	sort.Strings(names)
+	if len(names) != 1 || names[0] != col {
+		t.Fatalf("replica collections = %v", names)
+	}
+}
+
+func TestJournalSegmentNotJournaled(t *testing.T) {
+	mem, err := open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mem.JournalSegment("queue", 0, 0); !errors.Is(err, ErrNotJournaled) {
+		t.Fatalf("err = %v, want ErrNotJournaled", err)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	db := openDB(t, t.TempDir())
+	if err := db.Health(); err != nil {
+		t.Fatalf("healthy store reports %v", err)
+	}
+	if _, err := db.Collection("runs").InsertOne(Doc{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Health(); err == nil {
+		t.Fatal("closed store reports healthy")
+	}
+}

@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// Chaos-run reproducibility: every chaos test derives its NetChaos seed
+// through SeedFromEnv, so a failing CI run is replayed locally with
+// nothing but `CHAOS_SEED=<n> go test -run <Test>`. On failure, tests
+// write a Report — seed, fired fault events, and a broker state
+// snapshot — plus copies of the broker journals into the directory
+// named by CHAOS_ARTIFACTS, which CI uploads. The transcript of a
+// chaotic failure is an artifact, not a scrollback anecdote.
+
+// SeedEnv and ArtifactsEnv are the environment variables wiring chaos
+// runs to CI: the seed matrix and the failure-artifact directory.
+const (
+	SeedEnv      = "CHAOS_SEED"
+	ArtifactsEnv = "CHAOS_ARTIFACTS"
+)
+
+// SeedFromEnv returns the chaos seed for this run: CHAOS_SEED if set
+// and parseable, else def. Tests must log the returned value so a
+// failure names the seed that produced it.
+func SeedFromEnv(def int64) int64 {
+	if v := os.Getenv(SeedEnv); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// ArtifactsDir returns the failure-artifact directory, or "" when
+// artifact collection is disabled.
+func ArtifactsDir() string { return os.Getenv(ArtifactsEnv) }
+
+// Report is the deterministic-repro record a failing chaos test leaves
+// behind.
+type Report struct {
+	Test     string         `json:"test"`
+	Seed     int64          `json:"seed"`
+	Time     time.Time      `json:"time"`
+	Repro    string         `json:"repro"`
+	Events   []NetEvent     `json:"net_events,omitempty"`
+	Snapshot map[string]any `json:"snapshot,omitempty"`
+}
+
+// WriteReport writes a failure report under the artifacts dir (or the
+// system temp dir if none is configured, so a local failure still
+// leaves a transcript) and returns its path. chaoses may be nil or
+// contain nils; their fired events are concatenated in order.
+func WriteReport(test string, seed int64, snapshot map[string]any, chaoses ...*NetChaos) (string, error) {
+	dir := ArtifactsDir()
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	rep := Report{
+		Test:     test,
+		Seed:     seed,
+		Time:     time.Now().UTC(),
+		Repro:    fmt.Sprintf("%s=%d go test -race -run '^%s$' ./...", SeedEnv, seed, test),
+		Snapshot: snapshot,
+	}
+	for _, nc := range chaoses {
+		if nc != nil {
+			rep.Events = append(rep.Events, nc.Events()...)
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.json", test, seed))
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// CopyJournals copies a broker store directory (snapshots and journal
+// WALs) into <artifacts>/<name>/ so a failed chaos run's durable-queue
+// state ships with the report. A no-op without CHAOS_ARTIFACTS: local
+// runs keep the store in the test's temp dir.
+func CopyJournals(name, storeDir string) error {
+	dir := ArtifactsDir()
+	if dir == "" {
+		return nil
+	}
+	dst := filepath.Join(dir, name)
+	return filepath.Walk(storeDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(storeDir, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		return copyFile(path, target)
+	})
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	_, err = io.Copy(out, in)
+	return err
+}

@@ -1,0 +1,81 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv(SeedEnv, "")
+	if got := SeedFromEnv(42); got != 42 {
+		t.Fatalf("default seed = %d, want 42", got)
+	}
+	t.Setenv(SeedEnv, "1337")
+	if got := SeedFromEnv(42); got != 1337 {
+		t.Fatalf("env seed = %d, want 1337", got)
+	}
+	t.Setenv(SeedEnv, "not-a-number")
+	if got := SeedFromEnv(42); got != 42 {
+		t.Fatalf("unparseable seed = %d, want fallback 42", got)
+	}
+}
+
+func TestWriteReportProducesRepro(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(ArtifactsEnv, dir)
+
+	nc := NewNetChaos(7)
+	path, err := WriteReport("TestExample", 7, map[string]any{"pending": 3}, nc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("report written to %s, want under %s", path, dir)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 7 || rep.Test != "TestExample" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !strings.Contains(rep.Repro, "CHAOS_SEED=7") || !strings.Contains(rep.Repro, "TestExample") {
+		t.Fatalf("repro line does not name seed and test: %q", rep.Repro)
+	}
+	if rep.Snapshot["pending"] != float64(3) {
+		t.Fatalf("snapshot lost: %+v", rep.Snapshot)
+	}
+}
+
+func TestCopyJournals(t *testing.T) {
+	artifacts := t.TempDir()
+	t.Setenv(ArtifactsEnv, artifacts)
+
+	store := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(store, "journal"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(store, "journal", "broker_queue.wal"), []byte("0000000a {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CopyJournals("shard-0", store); err != nil {
+		t.Fatal(err)
+	}
+	copied := filepath.Join(artifacts, "shard-0", "journal", "broker_queue.wal")
+	if _, err := os.Stat(copied); err != nil {
+		t.Fatalf("journal not copied: %v", err)
+	}
+
+	// Disabled without the env var — and not an error.
+	t.Setenv(ArtifactsEnv, "")
+	if err := CopyJournals("shard-1", store); err != nil {
+		t.Fatal(err)
+	}
+}

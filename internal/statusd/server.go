@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gem5art/internal/core/tasks"
+	"gem5art/internal/core/tasks/shard"
 	"gem5art/internal/database"
 	"gem5art/internal/simcache"
 	"gem5art/internal/telemetry"
@@ -24,13 +25,29 @@ import (
 // HTTP handler. DB and Broker are optional: endpoints backed by an
 // absent component report 503 rather than panicking, so a worker (which
 // has no database) can still expose /metrics and /healthz.
+//
+// Two sharded modes layer on top. With Fleet set, the daemon fronts an
+// in-process sharded control plane: /api/shards serves the routing map
+// and /api/broker aggregates every shard primary's state. With
+// ShardURLs set, the daemon is a pure front tier over other statusd
+// instances: /api/runs and /api/broker fan out across them and degrade
+// — marked, not hidden — when a backend is unreachable.
 type Server struct {
 	Registry *telemetry.Registry
 	Bus      *telemetry.EventBus
 	DB       database.Store
 	Broker   *tasks.Broker
 	Cache    *simcache.Cache
-	Start    time.Time
+	Fleet    *shard.Fleet
+	// ShardURLs are backend statusd base URLs (e.g. "http://host:port")
+	// this instance aggregates over in front-tier mode.
+	ShardURLs []string
+	// SSEWriteTimeout bounds each SSE write; a client that cannot keep
+	// up is dropped instead of wedging the stream goroutine (default 5s).
+	SSEWriteTimeout time.Duration
+	// Client performs front-tier fan-out requests (default: 2s timeout).
+	Client *http.Client
+	Start  time.Time
 }
 
 // New returns a server over the process defaults (telemetry.Default,
@@ -52,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/runs", s.listRuns)
 	mux.HandleFunc("GET /api/runs/{id}", s.getRun)
 	mux.HandleFunc("GET /api/broker", s.brokerState)
+	mux.HandleFunc("GET /api/shards", s.shardMap)
 	mux.HandleFunc("GET /api/cache", s.cacheStats)
 	mux.HandleFunc("GET /api/cache/checkpoints/{hash}", s.cacheCheckpoint)
 	mux.HandleFunc("GET /api/events", s.events)
@@ -80,13 +98,43 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// healthz reports 200 while every component backing this daemon can
+// serve, and 503 with the reasons attached once one cannot — a load
+// balancer (or an operator's curl) sees *why* the instance is out, not
+// just that it is.
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	var reasons []string
+	if s.DB != nil {
+		if h, ok := s.DB.(interface{ Health() error }); ok {
+			if err := h.Health(); err != nil {
+				reasons = append(reasons, "database: "+err.Error())
+			}
+		}
+	}
+	if s.Broker != nil && s.Broker.Closed() {
+		reasons = append(reasons, "broker: not serving")
+	}
+	if s.Fleet != nil {
+		if err := s.Fleet.Health(); err != nil {
+			reasons = append(reasons, "fleet: "+err.Error())
+		}
+	}
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.Start).Seconds(),
 		"database":       s.DB != nil,
 		"broker":         s.Broker != nil,
-	})
+	}
+	if s.Fleet != nil {
+		body["shards"] = s.Fleet.Shards()
+	}
+	if len(reasons) > 0 {
+		body["status"] = "unavailable"
+		body["reasons"] = reasons
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // runSummary is the projection of a run document returned by the list
@@ -123,9 +171,77 @@ func str(v any) string {
 	return s
 }
 
+// fanClient returns the HTTP client used for front-tier fan-out.
+func (s *Server) fanClient() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// fanout GETs path on every configured shard backend. Unreachable (or
+// non-200) backends land in failed rather than aborting the whole
+// aggregation — partial answers degrade, they don't disappear.
+func (s *Server) fanout(path string) (bodies []json.RawMessage, failed []string) {
+	client := s.fanClient()
+	for _, base := range s.ShardURLs {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			failed = append(failed, base+": "+err.Error())
+			continue
+		}
+		var raw json.RawMessage
+		err = json.NewDecoder(resp.Body).Decode(&raw)
+		resp.Body.Close()
+		if err != nil {
+			failed = append(failed, base+": "+err.Error())
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			failed = append(failed, fmt.Sprintf("%s: status %d", base, resp.StatusCode))
+			continue
+		}
+		bodies = append(bodies, raw)
+	}
+	return bodies, failed
+}
+
+// listRunsFanout aggregates /api/runs across shard backends: summaries
+// are merged and re-sorted, and a partial failure marks the response
+// degraded with the unreachable backends listed.
+func (s *Server) listRunsFanout(w http.ResponseWriter, r *http.Request) {
+	path := "/api/runs"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	bodies, failed := s.fanout(path)
+	merged := make([]runSummary, 0, 64)
+	for _, raw := range bodies {
+		var page struct {
+			Runs []runSummary `json:"runs"`
+		}
+		if err := json.Unmarshal(raw, &page); err != nil {
+			failed = append(failed, "decode: "+err.Error())
+			continue
+		}
+		merged = append(merged, page.Runs...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	resp := map[string]any{"count": len(merged), "runs": merged, "shards": len(s.ShardURLs)}
+	if len(failed) > 0 {
+		resp["degraded"] = true
+		resp["failed"] = failed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // listRuns returns run summaries, optionally filtered by ?status= and
 // ?outcome=, newest-insert-last, capped by ?limit=.
 func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
+	if len(s.ShardURLs) > 0 {
+		s.listRunsFanout(w, r)
+		return
+	}
 	if s.DB == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no database attached"})
 		return
@@ -207,26 +323,98 @@ func (s *Server) cacheCheckpoint(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(blob)
 }
 
+// shardBrokerState is one shard's slice of the aggregated /api/broker
+// response.
+type shardBrokerState struct {
+	Index    int               `json:"index"`
+	Addr     string            `json:"addr"`
+	Epoch    uint64            `json:"epoch"`
+	LagBytes int64             `json:"replication_lag_bytes"`
+	State    tasks.BrokerState `json:"state"`
+}
+
 func (s *Server) brokerState(w http.ResponseWriter, _ *http.Request) {
-	if s.Broker == nil {
+	switch {
+	case s.Fleet != nil:
+		m := s.Fleet.Map()
+		out := make([]shardBrokerState, 0, len(m.Shards))
+		for _, info := range m.Shards {
+			out = append(out, shardBrokerState{
+				Index:    info.Index,
+				Addr:     info.Addr,
+				Epoch:    info.Epoch,
+				LagBytes: s.Fleet.Lag(info.Index),
+				State:    s.Fleet.Broker(info.Index).State(),
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"sharded": true, "epoch": m.Epoch, "shards": out,
+		})
+	case len(s.ShardURLs) > 0:
+		bodies, failed := s.fanout("/api/broker")
+		resp := map[string]any{"sharded": true, "shards": bodies}
+		if len(failed) > 0 {
+			resp["degraded"] = true
+			resp["failed"] = failed
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case s.Broker != nil:
+		writeJSON(w, http.StatusOK, s.Broker.State())
+	default:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no broker attached"})
-		return
 	}
-	writeJSON(w, http.StatusOK, s.Broker.State())
+}
+
+// shardMap serves the epoch-numbered routing map workers re-resolve
+// from after a *NotOwnerError or a reconnect. In front-tier mode the
+// map is proxied from the first reachable backend.
+func (s *Server) shardMap(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.Fleet != nil:
+		writeJSON(w, http.StatusOK, s.Fleet.Map())
+	case len(s.ShardURLs) > 0:
+		bodies, failed := s.fanout("/api/shards")
+		if len(bodies) == 0 {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"error": "no shard backend reachable", "failed": failed})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(bodies[0])
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no fleet attached"})
+	}
 }
 
 // events streams run-lifecycle events as server-sent events. Recent
 // history is replayed first (so a dashboard attaching mid-sweep sees
-// context), then live events follow until the client disconnects.
+// context), then live events follow until the client disconnects — or
+// until it stops reading: every write carries a deadline, and a client
+// that cannot drain within it is dropped so one stalled dashboard
+// cannot wedge the stream goroutine or backpressure the event bus.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
+	}
+	rc := http.NewResponseController(w)
+	timeout := s.SSEWriteTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+
+	// push writes one event under the write deadline; false = drop client.
+	push := func(ev telemetry.Event) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(timeout))
+		if err := writeSSE(w, ev); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
 
 	// Subscribe before replaying so no event falls between the replay
 	// snapshot and the live stream; the seq guard below drops overlap.
@@ -235,10 +423,11 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 
 	var lastSeq uint64
 	for _, ev := range s.Bus.Recent(64) {
-		writeSSE(w, ev)
+		if !push(ev) {
+			return
+		}
 		lastSeq = ev.Seq
 	}
-	fl.Flush()
 
 	for {
 		select {
@@ -252,16 +441,18 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			lastSeq = ev.Seq
-			writeSSE(w, ev)
-			fl.Flush()
+			if !push(ev) {
+				return
+			}
 		}
 	}
 }
 
-func writeSSE(w http.ResponseWriter, ev telemetry.Event) {
+func writeSSE(w http.ResponseWriter, ev telemetry.Event) error {
 	data, err := json.Marshal(ev)
 	if err != nil {
-		return
+		return nil // unmarshalable event: skip it, keep the client
 	}
-	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	return err
 }

@@ -1,0 +1,245 @@
+package statusd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gem5art/internal/core/tasks"
+	"gem5art/internal/core/tasks/shard"
+	"gem5art/internal/database"
+	"gem5art/internal/telemetry"
+)
+
+func testFleet(t *testing.T, shards int) *shard.Fleet {
+	t.Helper()
+	f, err := shard.NewFleet(shard.Options{
+		Shards:       shards,
+		Dir:          t.TempDir(),
+		LeaseTTL:     150 * time.Millisecond,
+		ShipInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestHealthzUnhealthyDatabase(t *testing.T) {
+	db := database.MustOpen(t.TempDir())
+	s := New(db)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Healthy first — the Health() hook must not regress the happy path.
+	var body map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("healthz on healthy DB = %d", code)
+	}
+	// A closed store cannot back /api/runs: healthz must say so, with a
+	// reason, instead of reporting ok while every data endpoint fails.
+	_ = db.Close()
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz on closed DB = %d, want 503", code)
+	}
+	if body["status"] != "unavailable" {
+		t.Errorf("status = %v", body["status"])
+	}
+	reasons, _ := body["reasons"].([]any)
+	if len(reasons) == 0 {
+		t.Fatal("503 carries no reasons")
+	}
+}
+
+func TestHealthzDeadBroker(t *testing.T) {
+	b, err := tasks.NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{Registry: telemetry.NewRegistry(), Bus: telemetry.NewEventBus(16), Broker: b, Start: time.Now()}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusOK {
+		t.Fatalf("healthz with live broker = %d", code)
+	}
+	b.Kill()
+	if code := getJSON(t, ts.URL+"/healthz", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with killed broker = %d, want 503", code)
+	}
+}
+
+func TestShardMapAndAggregatedBroker(t *testing.T) {
+	f := testFleet(t, 2)
+	defer f.Close()
+	s := &Server{Registry: telemetry.NewRegistry(), Bus: telemetry.NewEventBus(16), Fleet: f, Start: time.Now()}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var m shard.Map
+	if code := getJSON(t, ts.URL+"/api/shards", &m); code != http.StatusOK {
+		t.Fatalf("/api/shards = %d", code)
+	}
+	if len(m.Shards) != 2 {
+		t.Fatalf("map has %d shards, want 2", len(m.Shards))
+	}
+	for i, info := range m.Shards {
+		if info.Addr == "" {
+			t.Fatalf("shard %d has no address", i)
+		}
+	}
+
+	var agg struct {
+		Sharded bool `json:"sharded"`
+		Shards  []struct {
+			Index    int   `json:"index"`
+			LagBytes int64 `json:"replication_lag_bytes"`
+		} `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/api/broker", &agg); code != http.StatusOK {
+		t.Fatalf("/api/broker = %d", code)
+	}
+	if !agg.Sharded || len(agg.Shards) != 2 {
+		t.Fatalf("aggregated broker state: %+v", agg)
+	}
+}
+
+func TestShardMapNoFleet(t *testing.T) {
+	_, ts := testServer(t)
+	var body map[string]any
+	if code := getJSON(t, ts.URL+"/api/shards", &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("/api/shards without fleet = %d, want 503", code)
+	}
+}
+
+// Front tier: /api/runs fans out across backends, merges, and marks the
+// response degraded when a backend is down — instead of failing whole.
+func TestFrontTierFanoutDegraded(t *testing.T) {
+	mkBackend := func(runs ...database.Doc) *httptest.Server {
+		db := database.MustOpen(t.TempDir())
+		t.Cleanup(func() { _ = db.Close() })
+		for _, d := range runs {
+			if _, err := db.Collection("runs").InsertOne(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		srv := httptest.NewServer(New(db).Handler())
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	b1 := mkBackend(database.Doc{"_id": "r1", "name": "boot-1", "status": "done"})
+	b2 := mkBackend(database.Doc{"_id": "r2", "name": "boot-2", "status": "done"},
+		database.Doc{"_id": "r3", "name": "boot-3", "status": "queued"})
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+
+	front := &Server{
+		Registry:  telemetry.NewRegistry(),
+		Bus:       telemetry.NewEventBus(16),
+		ShardURLs: []string{b1.URL, b2.URL, deadURL},
+		Start:     time.Now(),
+	}
+	ts := httptest.NewServer(front.Handler())
+	defer ts.Close()
+
+	var body struct {
+		Count    int             `json:"count"`
+		Runs     []runSummary    `json:"runs"`
+		Degraded bool            `json:"degraded"`
+		Failed   []string        `json:"failed"`
+		Shards   json.RawMessage `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/api/runs", &body); code != http.StatusOK {
+		t.Fatalf("front-tier /api/runs = %d", code)
+	}
+	if body.Count != 3 || len(body.Runs) != 3 {
+		t.Fatalf("merged %d runs, want 3: %+v", body.Count, body.Runs)
+	}
+	if body.Runs[0].Name != "boot-1" || body.Runs[2].Name != "boot-3" {
+		t.Fatalf("merged runs not sorted: %+v", body.Runs)
+	}
+	if !body.Degraded || len(body.Failed) != 1 {
+		t.Fatalf("dead backend not surfaced: degraded=%v failed=%v", body.Degraded, body.Failed)
+	}
+
+	// Filters pass through the fan-out.
+	if code := getJSON(t, ts.URL+"/api/runs?status=queued", &body); code != http.StatusOK {
+		t.Fatalf("filtered fan-out = %d", code)
+	}
+	if body.Count != 1 || body.Runs[0].ID != "r3" {
+		t.Fatalf("filtered fan-out: %+v", body.Runs)
+	}
+
+	// /api/broker front tier: backends have no broker -> every backend
+	// fails, response is degraded but still 200.
+	var agg map[string]any
+	if code := getJSON(t, ts.URL+"/api/broker", &agg); code != http.StatusOK {
+		t.Fatalf("front-tier /api/broker = %d", code)
+	}
+	if agg["degraded"] != true {
+		t.Fatalf("broker fan-out over broker-less backends not degraded: %v", agg)
+	}
+}
+
+// sseWriter is a fake streaming ResponseWriter whose writes start
+// failing after failAfter writes — a client that stopped reading.
+type sseWriter struct {
+	header    http.Header
+	writes    int
+	failAfter int
+	deadlines int
+}
+
+func (d *sseWriter) Header() http.Header { return d.header }
+func (d *sseWriter) WriteHeader(int)     {}
+func (d *sseWriter) Flush()              {}
+func (d *sseWriter) SetWriteDeadline(time.Time) error {
+	d.deadlines++
+	return nil
+}
+func (d *sseWriter) Write(p []byte) (int, error) {
+	d.writes++
+	if d.writes > d.failAfter {
+		return 0, errors.New("write timed out: client not draining")
+	}
+	return len(p), nil
+}
+
+// TestEventsDropsSlowClient proves the SSE handler returns — rather
+// than wedging forever — once a client's writes fail, and that every
+// write was armed with a deadline.
+func TestEventsDropsSlowClient(t *testing.T) {
+	bus := telemetry.NewEventBus(16)
+	for i := 0; i < 8; i++ {
+		bus.Publish("run.started", map[string]string{"run": "r"})
+	}
+	s := &Server{Registry: telemetry.NewRegistry(), Bus: bus, Start: time.Now(), SSEWriteTimeout: 50 * time.Millisecond}
+
+	w := &sseWriter{header: make(http.Header), failAfter: 3}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req := httptest.NewRequest("GET", "/api/events", nil).WithContext(ctx)
+
+	done := make(chan struct{})
+	go func() {
+		s.events(w, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("events handler did not drop the slow client")
+	}
+	if w.deadlines == 0 {
+		t.Fatal("no write deadline was ever set on the SSE stream")
+	}
+	if w.writes > w.failAfter+1 {
+		t.Fatalf("handler kept writing (%d writes) after the client stalled", w.writes)
+	}
+}
