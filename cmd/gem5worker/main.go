@@ -118,11 +118,17 @@ func main() {
 	}
 }
 
+// shardMapClient bounds shard-map resolution: fetchShardMap runs inside
+// each session's reconnect Dial hook, so a hung status daemon must fail
+// the dial (and let backoff retry) rather than wedge the shard's
+// reconnect loop forever.
+var shardMapClient = &http.Client{Timeout: 5 * time.Second}
+
 // fetchShardMap pulls the epoch-numbered routing map from a status
 // daemon fronting a sharded fleet.
 func fetchShardMap(base string) (shard.Map, error) {
 	var m shard.Map
-	resp, err := http.Get(base + "/api/shards")
+	resp, err := shardMapClient.Get(base + "/api/shards")
 	if err != nil {
 		return m, err
 	}

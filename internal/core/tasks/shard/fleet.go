@@ -59,6 +59,12 @@ type shardState struct {
 	shipStop    chan struct{}
 	lastBeat    time.Time
 	failingOver bool
+	// fenced marks a failover that killed the old primary and drained
+	// its journal but could not start the replacement broker: the fence
+	// steps are done and must not be repeated — shipStop has already
+	// been swapped for a fresh unclosed channel — so the monitor's retry
+	// (and Close) skip straight to promotion.
+	fenced bool
 }
 
 // Fleet runs N shard brokers behind a consistent-hash router with
@@ -298,37 +304,48 @@ func (f *Fleet) failover(i int) {
 	oldPrimary := s.primaryDB
 	promoted := s.standbyDB
 	gen := s.gen
+	fenced := s.fenced
 	f.mu.Unlock()
 
-	// Fence: even a primary that is merely wedged (lease expired without
-	// crashing) stops serving before the standby takes over, so two
-	// brokers never own the shard at once.
-	old.Kill()
-	close(oldShipStop)
-	// Final drain: the deposed primary's store is still readable
-	// in-process, so everything it journaled reaches the standby before
-	// promotion. Across machines this drain can fail, and the loss bound
-	// is the replication lag — see DESIGN.md's failure-semantics matrix.
-	_, _ = oldShipper.ShipOnce()
-	oldPrimary.Close()
+	if !fenced {
+		// Fence: even a primary that is merely wedged (lease expired
+		// without crashing) stops serving before the standby takes over,
+		// so two brokers never own the shard at once.
+		old.Kill()
+		close(oldShipStop)
+		// Final drain: the deposed primary's store is still readable
+		// in-process, so everything it journaled reaches the standby
+		// before promotion. Across machines this drain can fail, and the
+		// loss bound is the replication lag — see DESIGN.md's
+		// failure-semantics matrix.
+		_, _ = oldShipper.ShipOnce()
+		oldPrimary.Close()
+	}
 
-	broker, err := f.startBroker(i, promoted)
-	if err != nil {
-		// Could not bring the shard back (listener hook failed?). Reset
-		// the lease so the monitor retries instead of looping hot.
+	// abort records a failed promotion attempt: the fence is done (and
+	// must never be redone — re-closing shipStop would panic), the lease
+	// is reset so the monitor retries on the next expiry instead of
+	// looping hot, and shipStop becomes a fresh channel no goroutine
+	// listens on, safe for Close to close exactly once.
+	abort := func() {
 		f.mu.Lock()
+		s.fenced = true
+		s.shipStop = make(chan struct{})
 		s.lastBeat = time.Now()
 		s.failingOver = false
 		f.mu.Unlock()
+	}
+
+	broker, err := f.startBroker(i, promoted)
+	if err != nil {
+		// Could not bring the shard back (listener hook failed?).
+		abort()
 		return
 	}
 	standby, err := f.openStore(i, gen+2)
 	if err != nil {
 		broker.Kill()
-		f.mu.Lock()
-		s.lastBeat = time.Now()
-		s.failingOver = false
-		f.mu.Unlock()
+		abort()
 		return
 	}
 	shipper := NewShipper(i, promoted, standby, QueueCollection)
@@ -341,6 +358,7 @@ func (f *Fleet) failover(i int) {
 	s.standbyDB = standby
 	s.shipper = shipper
 	s.shipStop = shipStop
+	s.fenced = false
 	s.epoch++
 	f.epoch++
 	s.lastBeat = time.Now()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -202,6 +203,64 @@ func TestFleetSubmitAtFencing(t *testing.T) {
 	res := collectFleet(t, f, 1, 10*time.Second)
 	if _, ok := res[job.ID]; !ok {
 		t.Fatalf("fenced-then-resolved job never completed: %v", res)
+	}
+}
+
+// TestFleetFailoverRetriesAfterListenerFailure is the double-close
+// regression: a promotion whose broker cannot start (the listener hook
+// fails) leaves the shard fenced, and the monitor's retry — which
+// re-enters failover on the same shard — must skip the already-done
+// fence steps instead of re-closing shipStop and panicking. Two
+// injected failures force two fenced re-entries before the promotion
+// lands; Close (via cleanup) then tears the recovered shard down.
+func TestFleetFailoverRetriesAfterListenerFailure(t *testing.T) {
+	var mu sync.Mutex
+	calls, failuresLeft := 0, 2
+	f, err := NewFleet(Options{
+		Shards: 1,
+		Dir:    t.TempDir(),
+		Broker: tasks.BrokerOptions{
+			HeartbeatTimeout: 400 * time.Millisecond,
+			Lease:            800 * time.Millisecond,
+			Retry:            tasks.RetryPolicy{MaxAttempts: 5, BaseDelay: 5 * time.Millisecond},
+		},
+		LeaseTTL:     120 * time.Millisecond,
+		ShipInterval: 10 * time.Millisecond,
+		Listener: func(int) (net.Listener, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if calls > 1 && failuresLeft > 0 { // first call serves the initial primary
+				failuresLeft--
+				return nil, errors.New("injected listener failure")
+			}
+			return net.Listen("tcp", "127.0.0.1:0")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	fleetWorker(t, f, 0)
+
+	const jobs = 10
+	for i := 0; i < jobs; i++ {
+		f.Submit(tasks.Job{ID: fmt.Sprintf("run-%d", i), Kind: "echo", Payload: json.RawMessage(`{}`)})
+	}
+	f.KillShard(0)
+	waitEpoch(t, f, 1, 10*time.Second)
+
+	mu.Lock()
+	burned := 2 - failuresLeft
+	mu.Unlock()
+	if burned != 2 {
+		t.Fatalf("promotion succeeded after %d injected failures, want 2 (retry path not exercised)", burned)
+	}
+	got := collectFleet(t, f, jobs, 20*time.Second)
+	for id, res := range got {
+		if res.Err != "" {
+			t.Fatalf("%s failed: %s", id, res.Err)
+		}
 	}
 }
 

@@ -13,9 +13,9 @@ import (
 // ReplicationSource is the primary side of journal shipping —
 // *database.DB satisfies it.
 type ReplicationSource interface {
-	JournalSegment(collection string, from int64, max int) (data []byte, next int64, err error)
+	JournalSegment(collection string, gen uint64, from int64, max int) (data []byte, next int64, err error)
 	JournalSize(collection string) int64
-	CollectionSnapshot(collection string) (docs []database.Doc, journalSize int64)
+	CollectionSnapshot(collection string) (docs []database.Doc, journalSize int64, gen uint64)
 }
 
 // ReplicationTarget is the standby side — *database.DB satisfies it.
@@ -38,7 +38,8 @@ type Shipper struct {
 
 	mu     sync.Mutex
 	offset int64
-	synced bool // snapshot basis established
+	gen    uint64 // journal generation the offset is relative to
+	synced bool   // snapshot basis established
 
 	shipped  int64 // segments shipped (for tests)
 	replayed int64 // records replayed (for tests)
@@ -52,14 +53,16 @@ func NewShipper(shardIndex int, src ReplicationSource, dst ReplicationTarget, co
 }
 
 // Resync replaces the standby's collection with a primary snapshot and
-// rebases the shipping offset on the snapshot's journal extent.
+// rebases the shipping position on the snapshot's journal generation
+// and extent.
 func (s *Shipper) Resync() error {
-	docs, off := s.src.CollectionSnapshot(s.col)
+	docs, off, gen := s.src.CollectionSnapshot(s.col)
 	if err := s.dst.RestoreCollection(s.col, docs); err != nil {
 		return fmt.Errorf("shard %d resync: %w", s.shard, err)
 	}
 	s.mu.Lock()
 	s.offset = off
+	s.gen = gen
 	s.synced = true
 	s.mu.Unlock()
 	shardReplicationResyncs.With(strconv.Itoa(s.shard)).Inc()
@@ -81,9 +84,9 @@ func (s *Shipper) ShipOnce() (int, error) {
 	total := 0
 	for {
 		s.mu.Lock()
-		from := s.offset
+		from, gen := s.offset, s.gen
 		s.mu.Unlock()
-		data, next, err := s.src.JournalSegment(s.col, from, 0)
+		data, next, err := s.src.JournalSegment(s.col, gen, from, 0)
 		if errors.Is(err, database.ErrJournalReset) {
 			if err := s.Resync(); err != nil {
 				return total, err

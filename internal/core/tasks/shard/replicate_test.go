@@ -88,6 +88,50 @@ func TestShipperResyncAfterJournalReset(t *testing.T) {
 	}
 }
 
+// TestShipperResyncAfterJournalRegrow covers the stall the size-only
+// reset check missed: the primary's journal is reset and then regrows
+// past the shipper's offset. The shipper must detect the stale
+// generation and resync instead of retrying mid-record bytes forever.
+func TestShipperResyncAfterJournalRegrow(t *testing.T) {
+	primary, standby := openShardStore(t), openShardStore(t)
+	sh := NewShipper(3, primary, standby, "broker_queue")
+
+	col := primary.Collection("broker_queue")
+	for i := 0; i < 5; i++ {
+		if _, err := col.InsertOne(database.Doc{"_id": fmt.Sprintf("job-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sh.ShipOnce(); err != nil {
+		t.Fatal(err)
+	}
+	off := sh.Offset()
+
+	// Reset, then regrow the journal well past the shipped offset.
+	if err := primary.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := col.InsertOne(database.Doc{"_id": fmt.Sprintf("regrown-job-%02d", i), "pad": "xxxxxxxxxxxxxxxx"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if primary.JournalSize("broker_queue") <= off {
+		t.Fatalf("journal did not regrow past old offset: %d <= %d", primary.JournalSize("broker_queue"), off)
+	}
+
+	n, err := sh.ShipOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := standby.Collection("broker_queue").Count(nil); got != 45 {
+		t.Fatalf("standby holds %d docs after regrow resync (replayed %d), want 45", got, n)
+	}
+	if sh.Lag() != 0 {
+		t.Fatalf("lag = %d after resync", sh.Lag())
+	}
+}
+
 func TestShipperRun(t *testing.T) {
 	primary, standby := openShardStore(t), openShardStore(t)
 	sh := NewShipper(2, primary, standby, "broker_queue")

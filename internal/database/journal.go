@@ -53,9 +53,10 @@ type journalWriter struct {
 	f    *os.File
 	path string
 	sync bool
-	recs int   // records appended since the last reset/replay
-	size int64 // current file size in bytes
-	err  error // first write/sync error, surfaced at Flush/Close
+	recs int    // records appended since the last reset/replay
+	size int64  // current file size in bytes
+	gen  uint64 // bumped on every reset; replication readers carry it
+	err  error  // first write/sync error, surfaced at Flush/Close
 }
 
 // journalPath returns the wal path for a collection name.
@@ -118,7 +119,10 @@ func (w *journalWriter) append(rec journalRecord) {
 }
 
 // reset truncates the journal after a compaction folded its records
-// into a snapshot.
+// into a snapshot. The generation bump invalidates every byte offset a
+// replication reader holds: even if the journal regrows past a reader's
+// old offset, JournalSegment sees the stale generation and forces a
+// snapshot resync instead of serving mid-record bytes.
 func (w *journalWriter) reset() error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
@@ -131,6 +135,7 @@ func (w *journalWriter) reset() error {
 	}
 	w.recs = 0
 	w.size = 0
+	w.gen++
 	return nil
 }
 

@@ -25,10 +25,11 @@ import (
 // consumed; the shipper resumes from that offset, so a torn shipment
 // never diverges the replica — it only delays it.
 
-// ErrJournalReset reports that the requested offset lies beyond the
-// journal's current extent — the journal was compacted (or replaced)
-// since the reader's last segment. Incremental shipping cannot resume;
-// the reader must fall back to a full snapshot resync.
+// ErrJournalReset reports that the journal was reset (compaction, Flush,
+// or RestoreCollection) since the reader's last segment — the reader's
+// generation is stale, so its byte offset no longer names a record
+// boundary even if the journal has regrown past it. Incremental shipping
+// cannot resume; the reader must fall back to a full snapshot resync.
 var ErrJournalReset = errors.New("database: journal reset since last segment; full resync required")
 
 // ErrNotJournaled reports that the collection has no journal to ship —
@@ -42,7 +43,16 @@ var ErrNotJournaled = errors.New("database: collection is not journaled")
 // the collection lock, so the returned bytes are a stable prefix of
 // whole appended records — any tearing a transport adds downstream is
 // the receiver's torn-tail path, not ours.
-func (db *DB) JournalSegment(collection string, from int64, max int) (data []byte, next int64, err error) {
+//
+// gen is the journal generation the reader's offset is relative to,
+// obtained from CollectionSnapshot. Every journal reset bumps the
+// generation, so a stale gen returns ErrJournalReset even when the
+// journal has regrown to or past from — offsets from a previous
+// generation land mid-record and must never be served. (The counter is
+// per-open, not persisted: a reader never outlives the *DB it reads
+// from, which holds in-process; a networked reader must resync after a
+// primary restart.)
+func (db *DB) JournalSegment(collection string, gen uint64, from int64, max int) (data []byte, next int64, err error) {
 	if max <= 0 {
 		max = 1 << 20
 	}
@@ -50,12 +60,14 @@ func (db *DB) JournalSegment(collection string, from int64, max int) (data []byt
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var size int64
+	var curGen uint64
 	if c.journal != nil {
 		size = c.journal.size
+		curGen = c.journal.gen
 	} else if db.dir == "" || !db.opts.Journal {
 		return nil, from, ErrNotJournaled
 	}
-	if from > size {
+	if gen != curGen || from > size {
 		return nil, from, ErrJournalReset
 	}
 	if from == size {
@@ -124,10 +136,11 @@ func (db *DB) ApplyJournalSegment(collection string, data []byte) (applied int, 
 }
 
 // CollectionSnapshot returns deep copies of every document in the named
-// collection together with the journal extent the snapshot corresponds
-// to — an atomic basis for a full resync: restore the documents, then
-// resume incremental shipping from the returned offset.
-func (db *DB) CollectionSnapshot(collection string) (docs []Doc, journalSize int64) {
+// collection together with the journal position the snapshot
+// corresponds to — generation and byte extent, an atomic basis for a
+// full resync: restore the documents, then resume incremental shipping
+// from the returned (gen, offset) position.
+func (db *DB) CollectionSnapshot(collection string) (docs []Doc, journalSize int64, gen uint64) {
 	c := db.collection(collection)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -137,8 +150,9 @@ func (db *DB) CollectionSnapshot(collection string) (docs []Doc, journalSize int
 	}
 	if c.journal != nil {
 		journalSize = c.journal.size
+		gen = c.journal.gen
 	}
-	return docs, journalSize
+	return docs, journalSize, gen
 }
 
 // RestoreCollection replaces the named collection's contents with deep

@@ -48,12 +48,12 @@ func assertConverged(t *testing.T, primary, replica *DB, col string) {
 	}
 }
 
-// shipAll drains the primary's journal into the replica from offset,
-// returning the new offset.
-func shipAll(t *testing.T, primary, replica *DB, col string, from int64) int64 {
+// shipAll drains the primary's journal into the replica from (gen,
+// offset), returning the new offset.
+func shipAll(t *testing.T, primary, replica *DB, col string, gen uint64, from int64) int64 {
 	t.Helper()
 	for {
-		data, next, err := primary.JournalSegment(col, from, 0)
+		data, next, err := primary.JournalSegment(col, gen, from, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +83,7 @@ func TestJournalSegmentShipAndReplay(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	off := shipAll(t, primary, replica, col, 0)
+	off := shipAll(t, primary, replica, col, 0, 0)
 
 	// Mutations after the first shipment arrive incrementally.
 	for i := 0; i < 10; i++ {
@@ -92,7 +92,7 @@ func TestJournalSegmentShipAndReplay(t *testing.T) {
 		}
 	}
 	primary.Collection(col).DeleteMany(Doc{"_id": "job-19"})
-	off = shipAll(t, primary, replica, col, off)
+	off = shipAll(t, primary, replica, col, 0, off)
 	assertConverged(t, primary, replica, col)
 
 	if got := replica.Collection(col).Count(Doc{"state": "done"}); got != 10 {
@@ -120,7 +120,7 @@ func TestApplyJournalSegmentTornTail(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	data, _, err := primary.JournalSegment(col, 0, 0)
+	data, _, err := primary.JournalSegment(col, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestReplicaAppliedSegmentsAreDurable(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	shipAll(t, primary, replica, col, 0)
+	shipAll(t, primary, replica, col, 0, 0)
 	if err := replica.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -199,19 +199,19 @@ func TestJournalSegmentResetAndSnapshotResync(t *testing.T) {
 		}
 	}
 	// Reading past the journal's extent signals a reset.
-	if _, _, err := primary.JournalSegment(col, primary.JournalSize(col)+100, 0); !errors.Is(err, ErrJournalReset) {
+	if _, _, err := primary.JournalSegment(col, 0, primary.JournalSize(col)+100, 0); !errors.Is(err, ErrJournalReset) {
 		t.Fatalf("err = %v, want ErrJournalReset", err)
 	}
 
-	// Full resync: snapshot + offset, then incremental from there.
-	docs, off := primary.CollectionSnapshot(col)
+	// Full resync: snapshot + (gen, offset), then incremental from there.
+	docs, off, gen := primary.CollectionSnapshot(col)
 	if err := replica.RestoreCollection(col, docs); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := primary.Collection(col).UpdateOne(Doc{"_id": "job-0"}, Doc{"state": "done"}); err != nil {
 		t.Fatal(err)
 	}
-	shipAll(t, primary, replica, col, off)
+	shipAll(t, primary, replica, col, gen, off)
 	assertConverged(t, primary, replica, col)
 
 	// RestoreCollection is durable: a reopened replica still has it.
@@ -222,12 +222,65 @@ func TestJournalSegmentResetAndSnapshotResync(t *testing.T) {
 	}
 }
 
+// TestJournalSegmentStaleGenerationAfterRegrow is the silent-stall
+// regression: a journal reset followed by enough new writes to regrow
+// to or past a reader's old offset must still fail that reader with
+// ErrJournalReset — a size check alone would serve mid-record bytes the
+// replica can never consume, stalling replication forever.
+func TestJournalSegmentStaleGenerationAfterRegrow(t *testing.T) {
+	primary := openDB(t, t.TempDir())
+	replica := openDB(t, t.TempDir())
+	defer primary.Close()
+	defer replica.Close()
+
+	col := "queue"
+	for i := 0; i < 6; i++ {
+		if _, err := primary.Collection(col).InsertOne(Doc{"_id": fmt.Sprintf("job-%d", i), "state": "pending"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	off := shipAll(t, primary, replica, col, 0, 0)
+	if off == 0 {
+		t.Fatal("nothing shipped")
+	}
+
+	// Reset the journal (Flush folds it into a snapshot), then regrow it
+	// well past the replica's offset with differently-sized records.
+	if err := primary.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := primary.Collection(col).InsertOne(Doc{"_id": fmt.Sprintf("regrown-job-%02d", i), "state": "pending", "pad": "xxxxxxxxxxxxxxxx"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if primary.JournalSize(col) <= off {
+		t.Fatalf("journal did not regrow past old offset: %d <= %d", primary.JournalSize(col), off)
+	}
+
+	// The stale reader must be told to resync, not fed mid-record bytes.
+	if _, _, err := primary.JournalSegment(col, 0, off, 0); !errors.Is(err, ErrJournalReset) {
+		t.Fatalf("stale-generation read: err = %v, want ErrJournalReset", err)
+	}
+
+	// The resync path converges.
+	docs, off2, gen := primary.CollectionSnapshot(col)
+	if err := replica.RestoreCollection(col, docs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.Collection(col).InsertOne(Doc{"_id": "post-resync"}); err != nil {
+		t.Fatal(err)
+	}
+	shipAll(t, primary, replica, col, gen, off2)
+	assertConverged(t, primary, replica, col)
+}
+
 func TestJournalSegmentNotJournaled(t *testing.T) {
 	mem, err := open("", Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := mem.JournalSegment("queue", 0, 0); !errors.Is(err, ErrNotJournaled) {
+	if _, _, err := mem.JournalSegment("queue", 0, 0, 0); !errors.Is(err, ErrNotJournaled) {
 		t.Fatalf("err = %v, want ErrNotJournaled", err)
 	}
 }

@@ -8,6 +8,7 @@ package statusd
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -190,15 +191,19 @@ func (s *Server) fanout(path string) (bodies []json.RawMessage, failed []string)
 			failed = append(failed, base+": "+err.Error())
 			continue
 		}
+		if resp.StatusCode != http.StatusOK {
+			// Status first: a proxy's plain-text 502 must report as the
+			// status it is, not as the JSON decode error it would cause.
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			failed = append(failed, fmt.Sprintf("%s: status %d", base, resp.StatusCode))
+			continue
+		}
 		var raw json.RawMessage
 		err = json.NewDecoder(resp.Body).Decode(&raw)
 		resp.Body.Close()
 		if err != nil {
 			failed = append(failed, base+": "+err.Error())
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			failed = append(failed, fmt.Sprintf("%s: status %d", base, resp.StatusCode))
 			continue
 		}
 		bodies = append(bodies, raw)
@@ -207,8 +212,10 @@ func (s *Server) fanout(path string) (bodies []json.RawMessage, failed []string)
 }
 
 // listRunsFanout aggregates /api/runs across shard backends: summaries
-// are merged and re-sorted, and a partial failure marks the response
-// degraded with the unreachable backends listed.
+// are merged, re-sorted by name (matching the single-node endpoint),
+// and capped to ?limit= — each backend also caps at limit, so the merge
+// can hold up to shards×limit rows before the cut. A partial failure
+// marks the response degraded with the unreachable backends listed.
 func (s *Server) listRunsFanout(w http.ResponseWriter, r *http.Request) {
 	path := "/api/runs"
 	if q := r.URL.RawQuery; q != "" {
@@ -227,6 +234,11 @@ func (s *Server) listRunsFanout(w http.ResponseWriter, r *http.Request) {
 		merged = append(merged, page.Runs...)
 	}
 	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 && n < len(merged) {
+			merged = merged[:n]
+		}
+	}
 	resp := map[string]any{"count": len(merged), "runs": merged, "shards": len(s.ShardURLs)}
 	if len(failed) > 0 {
 		resp["degraded"] = true
@@ -236,7 +248,7 @@ func (s *Server) listRunsFanout(w http.ResponseWriter, r *http.Request) {
 }
 
 // listRuns returns run summaries, optionally filtered by ?status= and
-// ?outcome=, newest-insert-last, capped by ?limit=.
+// ?outcome=, sorted by name, capped by ?limit=.
 func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
 	if len(s.ShardURLs) > 0 {
 		s.listRunsFanout(w, r)
