@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: build vet test race chaos bench ci
+.PHONY: build fmt vet test race chaos bench ci
 
 build:
 	$(GO) build ./...
+
+# fmt fails when any file needs gofmt, printing the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -53,11 +58,15 @@ chaos:
 #     BENCH_storage.json;
 #   cache — cold vs warm launch of an identical hack-back matrix through
 #     the simulation cache (required: warm >=5x faster, exactly one boot
-#     per boot class), written to BENCH_cache.json.
+#     per boot class), written to BENCH_cache.json;
+#   gateway — the same job batch submitted in-process vs through the
+#     authenticated multi-tenant HTTP gateway (budget: <5% overhead),
+#     written to BENCH_gateway.json.
 # Exits non-zero if any suite misses its budget.
 bench:
 	$(GO) run ./cmd/gem5bench -suite telemetry -out BENCH_telemetry.json
 	$(GO) run ./cmd/gem5bench -suite storage -out BENCH_storage.json
 	$(GO) run ./cmd/gem5bench -suite cache -out BENCH_cache.json
+	$(GO) run ./cmd/gem5bench -suite gateway -out BENCH_gateway.json
 
-ci: build vet race
+ci: fmt vet build race

@@ -34,6 +34,7 @@ import (
 	"gem5art/internal/simcache"
 	"gem5art/internal/statusd"
 	"gem5art/internal/telemetry"
+	"gem5art/internal/version"
 	"gem5art/internal/workloads"
 )
 
@@ -65,6 +66,10 @@ func main() {
 		err = reportCmd(os.Args[2:])
 	case "distribute":
 		err = distributeCmd(os.Args[2:])
+	case "submit":
+		err = submitCmd(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println("gem5art", version.String())
 	default:
 		usage()
 	}
@@ -75,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gem5art <parsec|boot|gpu|tables|report|summary|artifacts|distribute> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: gem5art <parsec|boot|gpu|tables|report|summary|artifacts|distribute|submit|version> [flags]`)
 	os.Exit(2)
 }
 

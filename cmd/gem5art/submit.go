@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gem5art/internal/gateway"
+)
+
+// submitCmd is the remote client for a gem5artd gateway: it submits a
+// launch spec over the authenticated HTTP API and can follow, list, or
+// cancel launches. The token comes from -token or GEM5ART_TOKEN.
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	remote := fs.String("remote", "", "gateway base URL, e.g. http://127.0.0.1:7788")
+	token := fs.String("token", os.Getenv("GEM5ART_TOKEN"),
+		"bearer token (default: GEM5ART_TOKEN env)")
+	suite := fs.String("suite", "", "job suite to sweep: boot or gpu")
+	name := fs.String("name", "", "launch label")
+	specPath := fs.String("spec", "", "launch spec JSON file (overrides -suite/-axis/-limit)")
+	limit := fs.Int("limit", 0, "truncate the sweep after N points (0 = all)")
+	list := fs.Bool("list", false, "list this tenant's launches")
+	status := fs.String("status", "", "show one launch by ID")
+	runsOf := fs.String("runs", "", "list runs of one launch by ID")
+	cancel := fs.String("cancel", "", "cancel a launch by ID (parked jobs only)")
+	wait := fs.Bool("wait", false, "poll until the submitted launch finishes")
+	poll := fs.Duration("poll", 2*time.Second, "poll interval for -wait")
+	var axes []string
+	fs.Func("axis", "narrow one axis, e.g. -axis kernel=v4.19.83,v5.2.3 (repeatable)",
+		func(v string) error { axes = append(axes, v); return nil })
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *remote == "" {
+		return fmt.Errorf("submit: -remote is required")
+	}
+	if *token == "" {
+		return fmt.Errorf("submit: -token (or GEM5ART_TOKEN) is required")
+	}
+	c := &apiClient{base: strings.TrimSuffix(*remote, "/"), token: *token}
+
+	switch {
+	case *list:
+		return c.print("GET", "/api/launches", nil)
+	case *status != "":
+		return c.print("GET", "/api/launches/"+*status, nil)
+	case *runsOf != "":
+		return c.print("GET", "/api/launches/"+*runsOf+"/runs", nil)
+	case *cancel != "":
+		return c.print("DELETE", "/api/launches/"+*cancel, nil)
+	}
+
+	spec, err := buildSpec(*specPath, *suite, *name, *limit, axes)
+	if err != nil {
+		return err
+	}
+	var resp struct {
+		Launch string `json:"launch"`
+		Jobs   int    `json:"jobs"`
+	}
+	if err := c.do("POST", "/api/launches", spec, &resp); err != nil {
+		return err
+	}
+	fmt.Printf("launch %s accepted: %d jobs\n", resp.Launch, resp.Jobs)
+	if !*wait {
+		return nil
+	}
+	for {
+		time.Sleep(*poll)
+		var st map[string]any
+		if err := c.do("GET", "/api/launches/"+resp.Launch, nil, &st); err != nil {
+			return err
+		}
+		fmt.Printf("launch %s: status=%v done=%v failed=%v canceled=%v\n",
+			resp.Launch, st["status"], st["done"], st["failed"], st["canceled"])
+		if s, _ := st["status"].(string); s == "finished" || s == "canceled" {
+			return nil
+		}
+	}
+}
+
+func buildSpec(specPath, suite, name string, limit int, axes []string) (*gateway.LaunchSpec, error) {
+	spec := &gateway.LaunchSpec{}
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, spec); err != nil {
+			return nil, fmt.Errorf("submit: parse %s: %w", specPath, err)
+		}
+		return spec, nil
+	}
+	if suite == "" {
+		return nil, fmt.Errorf("submit: -suite (or -spec) is required")
+	}
+	spec.Suite = suite
+	spec.Name = name
+	spec.Limit = limit
+	for _, a := range axes {
+		key, vals, ok := strings.Cut(a, "=")
+		if !ok || vals == "" {
+			return nil, fmt.Errorf("submit: bad -axis %q (want name=v1,v2)", a)
+		}
+		if spec.Axes == nil {
+			spec.Axes = make(map[string][]string)
+		}
+		spec.Axes[key] = strings.Split(vals, ",")
+	}
+	return spec, nil
+}
+
+// apiClient performs authenticated JSON calls against the gateway,
+// turning 429 responses into errors that carry the Retry-After hint.
+type apiClient struct {
+	base  string
+	token string
+}
+
+func (c *apiClient) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return fmt.Errorf("submit: over quota (retry after %ss): %s",
+			resp.Header.Get("Retry-After"), strings.TrimSpace(string(data)))
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("submit: %s %s: status %d: %s",
+			method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// print performs a call and pretty-prints the JSON response.
+func (c *apiClient) print(method, path string, body any) error {
+	var out any
+	if err := c.do(method, path, body, &out); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

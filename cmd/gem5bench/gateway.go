@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"gem5art/internal/core/tasks"
+	"gem5art/internal/database"
+	"gem5art/internal/gateway"
+)
+
+// gatewayResult is the gateway benchmark report: the same job batch
+// executed through the in-process submit path and through the
+// authenticated HTTP gateway, with the relative overhead of the edge.
+type gatewayResult struct {
+	Jobs              int     `json:"jobs"`
+	Iterations        int     `json:"iterations"`
+	DirectNs          int64   `json:"direct_ns"`
+	GatewayNs         int64   `json:"gateway_ns"`
+	OverheadPercent   float64 `json:"overhead_percent"`
+	OverheadThreshold float64 `json:"overhead_threshold_percent"`
+	Pass              bool    `json:"pass"`
+}
+
+// benchSpin is the per-job workload: deterministic arithmetic heavy
+// enough (~10ms of CPU) that orchestration cost is a small fraction of
+// every job — the benchmark measures the submit path, not HTTP versus
+// a no-op. Real simulation jobs run seconds to hours, so even this is
+// a conservative proxy.
+func benchSpin(json.RawMessage) (any, error) {
+	var sum uint64
+	for i := uint64(0); i < 24_000_000; i++ {
+		sum += i * i
+	}
+	return map[string]any{"sum": sum}, nil
+}
+
+// runGatewayBench measures end-to-end latency of a jobs-sized batch on
+// one shared broker+worker, submitted (a) directly in process and (b)
+// through the multi-tenant HTTP gateway with auth, admission control,
+// and namespaced bookkeeping. Both paths poll for completion at the
+// same interval, so the difference isolates the gateway edge. The
+// minimum over iterations is compared to keep scheduler noise out.
+func runGatewayBench(out string, jobs int, threshold float64) bool {
+	fmt.Printf("benchmarking gateway submit path: %d jobs, direct vs HTTP...\n", jobs)
+
+	cfg := &gateway.Config{
+		DefaultQuota: gateway.Quota{MaxInFlight: jobs, MaxQueued: jobs, Weight: 1},
+		DefaultRate:  gateway.Rate{RPS: 10_000, Burst: 10_000},
+		Tenants:      []gateway.TenantConfig{{ID: "bench", Token: "bench-token"}},
+	}
+	db := database.MustOpen("")
+	defer db.Close()
+
+	ctrl := gateway.NewController(cfg)
+	broker, err := tasks.NewBrokerWithOptions("127.0.0.1:0", tasks.BrokerOptions{Admission: ctrl})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+	defer broker.Close()
+	worker, err := tasks.NewWorker(broker.Addr(), 8, map[string]tasks.JobHandler{
+		"boot": benchSpin,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+	defer worker.Close()
+
+	g := gateway.New(cfg, ctrl, broker, db, nil)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	directJobs := func(round int) []tasks.Job {
+		out := make([]tasks.Job, jobs)
+		for i := range out {
+			out[i] = tasks.Job{
+				ID:      fmt.Sprintf("direct-%d-%d", round, i),
+				Kind:    "boot",
+				Payload: json.RawMessage(`{}`),
+			}
+		}
+		return out
+	}
+
+	// Both paths poll completion at the same interval, coarse enough
+	// that the poll loop does not steal meaningful CPU from the workers
+	// it is waiting on.
+	const pollEvery = 5 * time.Millisecond
+
+	runDirect := func(round int) (time.Duration, error) {
+		batch := directJobs(round)
+		start := time.Now()
+		for _, j := range batch {
+			broker.Submit(j)
+		}
+		for _, j := range batch {
+			for {
+				if res, ok := broker.Result(j.ID); ok {
+					if res.Err != "" {
+						return 0, fmt.Errorf("direct job %s failed: %s", j.ID, res.Err)
+					}
+					break
+				}
+				time.Sleep(pollEvery)
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	runGateway := func() (time.Duration, error) {
+		spec := map[string]any{"suite": "boot", "limit": jobs}
+		body, _ := json.Marshal(spec)
+		start := time.Now()
+		req, _ := http.NewRequest("POST", srv.URL+"/api/launches", bytes.NewReader(body))
+		req.Header.Set("Authorization", "Bearer bench-token")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		var acc struct {
+			Launch string `json:"launch"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&acc)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return 0, fmt.Errorf("submit: status %d", resp.StatusCode)
+		}
+		for {
+			req, _ := http.NewRequest("GET", srv.URL+"/api/launches/"+acc.Launch, nil)
+			req.Header.Set("Authorization", "Bearer bench-token")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return 0, err
+			}
+			var st struct {
+				Status string  `json:"status"`
+				Failed float64 `json:"failed"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return 0, err
+			}
+			if st.Status == "finished" {
+				if st.Failed > 0 {
+					return 0, fmt.Errorf("%v gateway jobs failed", st.Failed)
+				}
+				return time.Since(start), nil
+			}
+			time.Sleep(pollEvery)
+		}
+	}
+
+	// Warm up both paths: TCP session establishment, first-use metric
+	// children, JIT-ish map growth — none of that belongs in the measure.
+	if _, err := runDirect(999); err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+	if _, err := runGateway(); err != nil {
+		fmt.Fprintln(os.Stderr, "gem5bench:", err)
+		return false
+	}
+
+	const iterations = 5
+	var directMin, gatewayMin time.Duration
+	for it := 0; it < iterations; it++ {
+		d, err := runDirect(it)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gem5bench:", err)
+			return false
+		}
+		gw, err := runGateway()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gem5bench:", err)
+			return false
+		}
+		if directMin == 0 || d < directMin {
+			directMin = d
+		}
+		if gatewayMin == 0 || gw < gatewayMin {
+			gatewayMin = gw
+		}
+		fmt.Printf("iteration %d: direct %v, gateway %v\n", it+1, d, gw)
+	}
+
+	r := gatewayResult{
+		Jobs:              jobs,
+		Iterations:        iterations,
+		DirectNs:          directMin.Nanoseconds(),
+		GatewayNs:         gatewayMin.Nanoseconds(),
+		OverheadThreshold: threshold,
+	}
+	r.OverheadPercent = (float64(r.GatewayNs) - float64(r.DirectNs)) / float64(r.DirectNs) * 100
+	r.Pass = r.OverheadPercent < threshold
+	writeReport(out, r)
+
+	fmt.Printf("direct submit:  %v (%d jobs)\n", directMin, jobs)
+	fmt.Printf("gateway submit: %v (auth + admission + namespaced bookkeeping)\n", gatewayMin)
+	fmt.Printf("overhead:       %.2f%% (budget %.1f%%) -> %s\n",
+		r.OverheadPercent, threshold, verdict(r.Pass))
+	fmt.Printf("report written to %s\n", out)
+	return r.Pass
+}

@@ -21,9 +21,14 @@
 //     cache and finish at least 5x faster, and the cold matrix must
 //     perform exactly one boot.
 //
+//   - gateway: times the same job batch submitted in-process against
+//     one submitted through the multi-tenant HTTP gateway (auth,
+//     admission, namespaced bookkeeping). The HTTP edge must add less
+//     than 5% end-to-end, or the service mode has regressed.
+//
 // Usage:
 //
-//	gem5bench [-suite telemetry|storage|cache] [-out FILE]
+//	gem5bench [-suite telemetry|storage|cache|gateway] [-out FILE]
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"testing"
 
 	"gem5art/internal/sim"
+	"gem5art/internal/version"
 )
 
 // result is the telemetry benchmark report.
@@ -124,7 +130,16 @@ func main() {
 	speedup := flag.Float64("speedup", 5.0, "storage: required indexed-vs-scan FindOne speedup")
 	runs := flag.Int("runs", 8, "cache: hack-back runs in the benchmark matrix")
 	warmSpeedup := flag.Float64("warm-speedup", 5.0, "cache: required warm-vs-cold launch speedup")
+	gwJobs := flag.Int("gateway-jobs", 32, "gateway: jobs per submit-path measurement")
+	gwOverhead := flag.Float64("gateway-overhead", 5.0,
+		"gateway: maximum allowed HTTP submit-path overhead percent vs in-process")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("gem5bench", version.String())
+		return
+	}
 
 	if *out == "" {
 		*out = "BENCH_" + *suite + ".json"
@@ -137,6 +152,8 @@ func main() {
 		pass = runStorage(*out, *docs, *speedup)
 	case "cache":
 		pass = runCache(*out, *runs, *warmSpeedup)
+	case "gateway":
+		pass = runGatewayBench(*out, *gwJobs, *gwOverhead)
 	default:
 		fmt.Fprintf(os.Stderr, "gem5bench: unknown suite %q\n", *suite)
 		os.Exit(2)

@@ -16,6 +16,7 @@ import (
 	"gem5art/internal/core/artifact"
 	"gem5art/internal/database"
 	"gem5art/internal/resources"
+	"gem5art/internal/version"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 		err = statusCmd(os.Args[2:])
 	case "build":
 		err = buildCmd(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Println("gem5resources", version.String())
 	default:
 		usage()
 	}

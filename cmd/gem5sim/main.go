@@ -21,6 +21,7 @@ import (
 	"gem5art/internal/sim/isa"
 	"gem5art/internal/sim/kernel"
 	"gem5art/internal/sim/mem"
+	"gem5art/internal/version"
 	"gem5art/internal/workloads"
 )
 
@@ -30,18 +31,23 @@ var traceInsts int64
 
 func main() {
 	var (
-		workload  = flag.String("workload", "boot", "boot | parsec | gpu")
-		kver      = flag.String("kernel", "5.4.49", "Linux kernel version (boot)")
-		cpuModel  = flag.String("cpu", "TimingSimpleCPU", "CPU model")
-		memSys    = flag.String("mem", "classic", "classic | ruby.MI_example | ruby.MESI_Two_Level")
-		cores     = flag.Int("cores", 1, "CPU count")
-		bootType  = flag.String("boot", "init", "init | systemd (boot)")
-		benchmark = flag.String("benchmark", "blackscholes", "benchmark name (parsec/gpu)")
-		osName    = flag.String("os", "ubuntu-18.04", "disk image OS (parsec)")
-		alloc     = flag.String("alloc", "simple", "GPU register allocator (gpu)")
-		trace     = flag.Int64("trace", 0, "print the first N executed instructions (boot)")
+		workload    = flag.String("workload", "boot", "boot | parsec | gpu")
+		kver        = flag.String("kernel", "5.4.49", "Linux kernel version (boot)")
+		cpuModel    = flag.String("cpu", "TimingSimpleCPU", "CPU model")
+		memSys      = flag.String("mem", "classic", "classic | ruby.MI_example | ruby.MESI_Two_Level")
+		cores       = flag.Int("cores", 1, "CPU count")
+		bootType    = flag.String("boot", "init", "init | systemd (boot)")
+		benchmark   = flag.String("benchmark", "blackscholes", "benchmark name (parsec/gpu)")
+		osName      = flag.String("os", "ubuntu-18.04", "disk image OS (parsec)")
+		alloc       = flag.String("alloc", "simple", "GPU register allocator (gpu)")
+		trace       = flag.Int64("trace", 0, "print the first N executed instructions (boot)")
+		showVersion = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gem5sim", version.String())
+		return
+	}
 	traceInsts = *trace
 	if err := runCLI(*workload, *kver, *cpuModel, *memSys, *cores, *bootType,
 		*benchmark, *osName, *alloc); err != nil {

@@ -35,6 +35,7 @@ import (
 	"gem5art/internal/sim/gpu"
 	"gem5art/internal/sim/kernel"
 	"gem5art/internal/statusd"
+	"gem5art/internal/version"
 	"gem5art/internal/workloads"
 )
 
@@ -51,7 +52,13 @@ func main() {
 		"re-dial the broker with backoff after a connection loss instead of exiting")
 	resolve := flag.String("resolve", "",
 		"status daemon base URL (e.g. http://127.0.0.1:7788) to resolve a sharded broker map from; starts one worker session per shard and re-resolves the shard's primary on every (re)connect")
+	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("gem5worker", version.String())
+		return
+	}
 
 	id := *workerID
 	if id == "" && (*reconnect || *resolve != "") {

@@ -112,6 +112,11 @@ type BrokerOptions struct {
 	// instead of binding addr — the hook chaos tests use to interpose
 	// faultinject.NetChaos on the accept path.
 	Listener net.Listener
+	// Admission, when non-nil, gates TrySubmit: jobs are offered to it
+	// before queueing and released back when their result is recorded.
+	// Submit bypasses it (trusted in-process callers keep their
+	// semantics); the gateway edge always uses TrySubmit.
+	Admission Admission
 }
 
 // assignment tracks one job handed to one worker session.
@@ -248,26 +253,54 @@ func (b *Broker) Closed() bool {
 // idempotent across broker restarts: a job that already completed
 // redelivers its recorded result instead of executing again, and a job
 // already queued or in flight is not double-queued.
-func (b *Broker) Submit(j Job) {
+func (b *Broker) Submit(j Job) { b.submit(j) }
+
+// TrySubmit is the admission-controlled submit path: with
+// BrokerOptions.Admission set, the job is offered to the controller
+// first and a *QuotaExceededError propagates to the caller instead of
+// queueing. The reservation is released when the job's result is
+// recorded — or immediately, if the broker turns out to be closed.
+func (b *Broker) TrySubmit(j Job) error {
+	adm := b.opts.Admission
+	if adm != nil {
+		if err := adm.Admit(j); err != nil {
+			return err
+		}
+	}
+	if !b.submit(j) {
+		if adm != nil {
+			adm.Release(j)
+		}
+		return fmt.Errorf("tasks: broker closed")
+	}
+	return nil
+}
+
+// submit is the shared enqueue path; it reports false when the broker
+// is closed (the only case where the job is dropped outright).
+func (b *Broker) submit(j Job) bool {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return
+		return false
 	}
 	if b.dq != nil {
 		if res, done := b.results[j.ID]; done {
 			b.mu.Unlock()
+			// A replayed result is as recorded as a fresh one: any
+			// admission reservation made for this resubmit frees now.
+			b.release(j)
 			b.deliver(res)
-			return
+			return true
 		}
 		if _, ok := b.inFly[j.ID]; ok {
 			b.mu.Unlock()
-			return
+			return true
 		}
 		for _, p := range b.pending {
 			if p.ID == j.ID {
 				b.mu.Unlock()
-				return
+				return true
 			}
 		}
 		b.dq.savePending(j, b.started[j.ID])
@@ -276,6 +309,16 @@ func (b *Broker) Submit(j Job) {
 	b.mu.Unlock()
 	brokerQueueDepth.Inc()
 	b.dispatch()
+	return true
+}
+
+// release frees the admission reservation for a job whose result just
+// became terminal. Must be called without b.mu held: controllers react
+// by dispatching parked work, which re-enters the submit path.
+func (b *Broker) release(j Job) {
+	if b.opts.Admission != nil {
+		b.opts.Admission.Release(j)
+	}
 }
 
 // Results returns the channel on which finished jobs are delivered.
@@ -327,13 +370,16 @@ func (b *Broker) Close() {
 	for w := range b.workers {
 		ws = append(ws, w)
 	}
+	var failed []Job
 	if b.dq == nil {
-		for id := range b.inFly {
+		for id, a := range b.inFly {
 			b.results[id] = JobResult{ID: id, Err: "broker closed"}
+			failed = append(failed, a.job)
 		}
 		for _, j := range b.pending {
 			if _, ok := b.results[j.ID]; !ok {
 				b.results[j.ID] = JobResult{ID: j.ID, Err: "broker closed"}
+				failed = append(failed, j)
 			}
 		}
 	} else {
@@ -345,6 +391,9 @@ func (b *Broker) Close() {
 	brokerQueueDepth.Add(-float64(len(b.pending)))
 	b.pending = nil
 	b.mu.Unlock()
+	for _, j := range failed {
+		b.release(j)
+	}
 	_ = b.ln.Close()
 	for _, w := range ws {
 		_ = w.conn.Close()
@@ -503,6 +552,7 @@ func (b *Broker) failAssignment(a *assignment, reason string) {
 	b.dq.saveDone(res, n)
 	delete(b.avoid, a.job.ID)
 	b.mu.Unlock()
+	b.release(a.job)
 	go b.deliver(res)
 	b.dispatch()
 }
@@ -818,6 +868,7 @@ func (b *Broker) finish(w *brokerWorker, env Envelope) {
 	b.results[env.ID] = res
 	b.dq.saveDone(res, b.started[env.ID])
 	b.mu.Unlock()
+	b.release(job)
 	if env.Worker != "" {
 		_ = w.send(Envelope{Type: "ack", ID: env.ID})
 	}

@@ -44,6 +44,12 @@ type Options struct {
 	// the hook chaos tests use to interpose faultinject.NetChaos per
 	// shard. Called again for the promoted broker on every failover.
 	Listener func(shard int) (net.Listener, error)
+	// Admission, when non-nil, gates the guarded submit paths
+	// (TrySubmit, SubmitAt) at the fleet edge and is released exactly
+	// once per job when its result is delivered. Per-shard brokers never
+	// see it: failover resubmission must not re-run admission for jobs
+	// the fleet already accepted.
+	Admission tasks.Admission
 }
 
 // shardState is one shard's mutable control-plane state, guarded by the
@@ -179,6 +185,7 @@ func (f *Fleet) startBroker(shard int, db *database.DB) (*tasks.Broker, error) {
 	bo.DB = db
 	bo.QueueCollection = QueueCollection
 	bo.Listener = nil
+	bo.Admission = nil // admission lives at the fleet edge, not per shard
 	if f.opts.Listener != nil {
 		ln, err := f.opts.Listener(shard)
 		if err != nil {
@@ -381,7 +388,9 @@ func (f *Fleet) failover(i int) {
 	shardFailoverResubmits.Add(float64(len(resubmit)))
 }
 
-// deliverResult forwards a result to the fleet channel exactly once.
+// deliverResult forwards a result to the fleet channel exactly once,
+// releasing the job's admission reservation before the (possibly slow)
+// channel send so freed capacity dispatches parked work promptly.
 func (f *Fleet) deliverResult(res tasks.JobResult) {
 	f.mu.Lock()
 	if f.delivered[res.ID] {
@@ -390,8 +399,12 @@ func (f *Fleet) deliverResult(res tasks.JobResult) {
 		return
 	}
 	f.delivered[res.ID] = true
+	j, tracked := f.outstanding[res.ID]
 	delete(f.outstanding, res.ID)
 	f.mu.Unlock()
+	if tracked && f.opts.Admission != nil {
+		f.opts.Admission.Release(j)
+	}
 	select {
 	case f.results <- res:
 	case <-f.stop:
@@ -414,11 +427,40 @@ func (f *Fleet) Submit(j tasks.Job) {
 	b.Submit(j)
 }
 
+// TrySubmit is the admission-controlled submit path: with
+// Options.Admission set, the job is offered to the controller before it
+// is routed, and a *QuotaExceededError propagates to the caller instead
+// of queueing. The reservation is released when the job's result is
+// delivered — or immediately, if the fleet turns out to be closed.
+func (f *Fleet) TrySubmit(j tasks.Job) error {
+	adm := f.opts.Admission
+	if adm != nil {
+		if err := adm.Admit(j); err != nil {
+			return err
+		}
+	}
+	shard := f.ring.Owner(j.ID)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		if adm != nil {
+			adm.Release(j)
+		}
+		return fmt.Errorf("shard: fleet closed")
+	}
+	f.outstanding[j.ID] = j
+	b := f.shards[shard].broker
+	f.mu.Unlock()
+	b.Submit(j)
+	return nil
+}
+
 // SubmitAt is the fenced submit path for clients that route with their
 // own copy of the shard map: the job lands only if shardIndex really
 // owns it and the caller's epoch is current. A stale map yields a
 // *NotOwnerError carrying the shard's actual epoch, telling the caller
-// to re-resolve.
+// to re-resolve. With Options.Admission set, jobs entering here are
+// admission-gated exactly like TrySubmit.
 func (f *Fleet) SubmitAt(shardIndex int, epoch uint64, j tasks.Job) error {
 	f.mu.Lock()
 	if f.closed {
@@ -445,6 +487,14 @@ func (f *Fleet) SubmitAt(shardIndex int, epoch uint64, j tasks.Job) error {
 		shardNotOwner.Inc()
 		return &NotOwnerError{Shard: shardIndex, WantEpoch: epoch, CurrentEpoch: cur,
 			Reason: "routed with a stale shard map"}
+	}
+	if adm := f.opts.Admission; adm != nil {
+		// Admit under f.mu is safe: controllers never call back into the
+		// fleet while holding their own lock, so no lock cycle exists.
+		if err := adm.Admit(j); err != nil {
+			f.mu.Unlock()
+			return err
+		}
 	}
 	f.outstanding[j.ID] = j
 	b := s.broker

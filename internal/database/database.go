@@ -208,15 +208,15 @@ func (db *DB) Close() error {
 // collection is the engine's concrete collection. It implements
 // storage.Collection.
 type collection struct {
-	mu      sync.RWMutex
-	name    string
-	db      *DB
-	docs    []Doc
-	uniques []*uniqueIndex
-	byID    map[string]int // "_id" -> position in docs
-	nextID  int64
-	journal *journalWriter // nil when not journaling
-	compacting bool        // a background compaction is queued or running
+	mu         sync.RWMutex
+	name       string
+	db         *DB
+	docs       []Doc
+	uniques    []*uniqueIndex
+	byID       map[string]int // "_id" -> position in docs
+	nextID     int64
+	journal    *journalWriter // nil when not journaling
+	compacting bool           // a background compaction is queued or running
 }
 
 // Name returns the collection name.

@@ -1,0 +1,239 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Quota bounds one tenant's concurrent use of the control plane.
+type Quota struct {
+	// MaxInFlight caps jobs admitted to the broker/fleet and not yet
+	// finished. Submits beyond it park in the tenant's queue.
+	MaxInFlight int `json:"max_in_flight"`
+	// MaxQueued bounds the tenant's parked queue; a launch that cannot
+	// fit within MaxInFlight+MaxQueued is rejected with 429.
+	MaxQueued int `json:"max_queued"`
+	// Weight sets the tenant's fair share when parked jobs compete for
+	// freed capacity: dispatch always picks the tenant with the lowest
+	// in-flight/weight ratio. Minimum effective weight is 1.
+	Weight int `json:"weight"`
+}
+
+// Rate configures the token-bucket limiter on one tenant's HTTP edge.
+type Rate struct {
+	// RPS is the sustained refill rate in requests per second.
+	RPS float64 `json:"rps"`
+	// Burst is the bucket capacity — requests that may arrive at once
+	// after an idle period.
+	Burst int `json:"burst"`
+}
+
+// TenantConfig declares one tenant: its identity, bearer token, and
+// optional per-tenant overrides of the default quota and rate.
+type TenantConfig struct {
+	ID      string `json:"id"`
+	Token   string `json:"token"`
+	Expires string `json:"expires,omitempty"` // RFC3339; empty = never
+	Quota   *Quota `json:"quota,omitempty"`
+	Rate    *Rate  `json:"rate,omitempty"`
+}
+
+// Config is the gateway's tenant/quota file. gem5artd re-reads it on
+// SIGHUP without dropping live sessions or parked queues.
+type Config struct {
+	DefaultQuota Quota          `json:"default_quota"`
+	DefaultRate  Rate           `json:"default_rate"`
+	Tenants      []TenantConfig `json:"tenants"`
+}
+
+// DefaultQuota is the quota applied to tenants without an override when
+// the config file declares none.
+var DefaultQuota = Quota{MaxInFlight: 8, MaxQueued: 32, Weight: 1}
+
+// DefaultRate is the edge rate limit applied when the config file
+// declares none.
+var DefaultRate = Rate{RPS: 20, Burst: 40}
+
+// tenantIDPattern keeps tenant IDs safe as collection-name (and thus
+// file-name) components: lowercase alphanumerics, dash, underscore.
+var tenantIDPattern = regexp.MustCompile(`^[a-z0-9][a-z0-9_-]{0,31}$`)
+
+// ValidTenantID reports whether id may name a tenant namespace.
+func ValidTenantID(id string) bool { return tenantIDPattern.MatchString(id) }
+
+// envTokenPrefix provisions tenants from the environment:
+// GEM5ART_GATEWAY_TOKEN_<ID>=<token> declares tenant <id> (lowercased)
+// with the default quota and rate, overriding a same-ID file entry's
+// token. This is how containerized deployments inject secrets without
+// writing them to the tenant file.
+const envTokenPrefix = "GEM5ART_GATEWAY_TOKEN_"
+
+// LoadConfig reads and validates a tenant/quota file, then overlays
+// environment-provisioned tokens. An empty path yields a config with
+// only the environment tenants.
+func LoadConfig(path string) (*Config, error) {
+	cfg := &Config{DefaultQuota: DefaultQuota, DefaultRate: DefaultRate}
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: read tenant config: %w", err)
+		}
+		if err := json.Unmarshal(data, cfg); err != nil {
+			return nil, fmt.Errorf("gateway: parse tenant config %s: %w", path, err)
+		}
+		if cfg.DefaultQuota == (Quota{}) {
+			cfg.DefaultQuota = DefaultQuota
+		}
+		if cfg.DefaultRate == (Rate{}) {
+			cfg.DefaultRate = DefaultRate
+		}
+	}
+	cfg.applyEnv(os.Environ())
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// applyEnv merges GEM5ART_GATEWAY_TOKEN_* entries into the tenant list.
+func (c *Config) applyEnv(environ []string) {
+	for _, kv := range environ {
+		name, token, ok := strings.Cut(kv, "=")
+		if !ok || !strings.HasPrefix(name, envTokenPrefix) || token == "" {
+			continue
+		}
+		id := strings.ToLower(strings.TrimPrefix(name, envTokenPrefix))
+		replaced := false
+		for i := range c.Tenants {
+			if c.Tenants[i].ID == id {
+				c.Tenants[i].Token = token
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			c.Tenants = append(c.Tenants, TenantConfig{ID: id, Token: token})
+		}
+	}
+}
+
+func (c *Config) validate() error {
+	seen := make(map[string]bool, len(c.Tenants))
+	for _, t := range c.Tenants {
+		if !ValidTenantID(t.ID) {
+			return fmt.Errorf("gateway: invalid tenant id %q (want %s)", t.ID, tenantIDPattern)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("gateway: duplicate tenant id %q", t.ID)
+		}
+		seen[t.ID] = true
+		if t.Token == "" {
+			return fmt.Errorf("gateway: tenant %q has no token", t.ID)
+		}
+		if t.Expires != "" {
+			if _, err := time.Parse(time.RFC3339, t.Expires); err != nil {
+				return fmt.Errorf("gateway: tenant %q: bad expires: %w", t.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// QuotaFor resolves a tenant's effective quota.
+func (c *Config) QuotaFor(t TenantConfig) Quota {
+	q := c.DefaultQuota
+	if t.Quota != nil {
+		q = *t.Quota
+	}
+	if q.Weight < 1 {
+		q.Weight = 1
+	}
+	if q.MaxInFlight < 1 {
+		q.MaxInFlight = 1
+	}
+	if q.MaxQueued < 0 {
+		q.MaxQueued = 0
+	}
+	return q
+}
+
+// RateFor resolves a tenant's effective edge rate.
+func (c *Config) RateFor(t TenantConfig) Rate {
+	r := c.DefaultRate
+	if t.Rate != nil {
+		r = *t.Rate
+	}
+	if r.RPS <= 0 {
+		r.RPS = DefaultRate.RPS
+	}
+	if r.Burst < 1 {
+		r.Burst = 1
+	}
+	return r
+}
+
+// ParseQuota parses the -quota CLI syntax:
+// "in-flight=8,queued=32,weight=1". Unset fields keep the defaults.
+func ParseQuota(s string) (Quota, error) {
+	q := DefaultQuota
+	if s == "" {
+		return q, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return q, fmt.Errorf("gateway: bad -quota term %q (want key=value)", part)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return q, fmt.Errorf("gateway: bad -quota value %q: %w", part, err)
+		}
+		switch key {
+		case "in-flight", "in_flight", "inflight":
+			q.MaxInFlight = n
+		case "queued":
+			q.MaxQueued = n
+		case "weight":
+			q.Weight = n
+		default:
+			return q, fmt.Errorf("gateway: unknown -quota key %q (want in-flight, queued, weight)", key)
+		}
+	}
+	return q, nil
+}
+
+// ParseRate parses the -rate CLI syntax: "rps=20,burst=40".
+func ParseRate(s string) (Rate, error) {
+	r := DefaultRate
+	if s == "" {
+		return r, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return r, fmt.Errorf("gateway: bad -rate term %q (want key=value)", part)
+		}
+		switch key {
+		case "rps":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return r, fmt.Errorf("gateway: bad -rate value %q: %w", part, err)
+			}
+			r.RPS = f
+		case "burst":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return r, fmt.Errorf("gateway: bad -rate value %q: %w", part, err)
+			}
+			r.Burst = n
+		default:
+			return r, fmt.Errorf("gateway: unknown -rate key %q (want rps, burst)", key)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,62 @@
+package gateway
+
+import (
+	"strings"
+
+	"gem5art/internal/database/storage"
+)
+
+// nsSep builds the collection prefix "t.<tenant>." under which one
+// tenant's collections live inside the shared store. Tenant IDs are
+// validated filename-safe (collections become journal and snapshot file
+// names), and the "t." prefix keeps tenant collections disjoint from
+// the daemon's own unprefixed ones.
+func namespacePrefix(tenant string) string { return "t." + tenant + "." }
+
+// Namespace returns a view of store scoped to one tenant: every
+// collection name is transparently prefixed, CollectionNames lists only
+// (and unprefixes) the tenant's collections, and Close flushes without
+// closing the shared store underneath other tenants. The file store is
+// shared — blobs are content-addressed and deduplicated globally.
+func Namespace(store storage.Store, tenant string) storage.Store {
+	return &nsStore{inner: store, prefix: namespacePrefix(tenant)}
+}
+
+type nsStore struct {
+	inner  storage.Store
+	prefix string
+}
+
+func (s *nsStore) Collection(name string) storage.Collection {
+	return nsCollection{
+		Collection: s.inner.Collection(s.prefix + name),
+		name:       name,
+	}
+}
+
+func (s *nsStore) CollectionNames() []string {
+	var names []string
+	for _, n := range s.inner.CollectionNames() {
+		if strings.HasPrefix(n, s.prefix) {
+			names = append(names, strings.TrimPrefix(n, s.prefix))
+		}
+	}
+	return names
+}
+
+func (s *nsStore) Files() storage.FileStore { return s.inner.Files() }
+
+func (s *nsStore) Flush() error { return s.inner.Flush() }
+
+// Close flushes but leaves the shared store open: the namespace view
+// does not own the engine's lifetime.
+func (s *nsStore) Close() error { return s.inner.Flush() }
+
+// nsCollection reports the tenant-relative name while delegating all
+// operations to the prefixed inner collection.
+type nsCollection struct {
+	storage.Collection
+	name string
+}
+
+func (c nsCollection) Name() string { return c.name }

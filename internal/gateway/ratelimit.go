@@ -1,0 +1,49 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// limiter is a per-key token-bucket rate limiter for the HTTP edge.
+// Each key (tenant ID) owns a bucket of Rate.Burst tokens refilled at
+// Rate.RPS per second; a request spends one token or is rejected with
+// the time until the next token as its Retry-After hint.
+type limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter() *limiter {
+	return &limiter{buckets: make(map[string]*bucket), now: time.Now}
+}
+
+// allow spends one token from key's bucket under rate. When the bucket
+// is empty it reports false with the wait until one token refills.
+func (l *limiter) allow(key string, rate Rate) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: float64(rate.Burst), last: now}
+		l.buckets[key] = b
+	}
+	// Refill, capped at the burst size. A reload that shrank the burst
+	// takes effect here, on the tenant's next request.
+	b.tokens = math.Min(float64(rate.Burst), b.tokens+now.Sub(b.last).Seconds()*rate.RPS)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rate.RPS * float64(time.Second))
+	return false, wait
+}

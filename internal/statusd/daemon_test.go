@@ -1,0 +1,95 @@
+package statusd
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	var body map[string]any
+	if code := getJSON(t, ts.URL+"/api/version", &body); code != http.StatusOK {
+		t.Fatalf("version status = %d", code)
+	}
+	if body["go"] == "" || body["go"] == nil {
+		t.Errorf("version missing go toolchain: %v", body)
+	}
+	if _, ok := body["module"]; !ok {
+		t.Errorf("version missing module: %v", body)
+	}
+}
+
+func TestMethodNotAllowedCarriesAllow(t *testing.T) {
+	_, ts := testServer(t)
+	for _, url := range []string{
+		ts.URL + "/api/runs",
+		ts.URL + "/api/version",
+		ts.URL + "/healthz",
+	} {
+		resp, err := http.Post(url, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status = %d, want 405", url, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Errorf("POST %s: Allow = %q, want GET listed", url, allow)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestJSONRoutesSetContentTypeOnErrors(t *testing.T) {
+	_, ts := testServer(t)
+	// A miss must carry the JSON content type too — the header has to be
+	// set before WriteHeader for that to work.
+	resp, err := http.Get(ts.URL + "/api/runs/definitely-missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("404 Content-Type = %q, want application/json", ct)
+	}
+}
+
+func TestDaemonShutdownDrainsSSE(t *testing.T) {
+	s, _ := testServer(t)
+	d, err := StartDaemon("127.0.0.1:0", s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach a live SSE stream; without the stop channel this would hold
+	// Shutdown open past any deadline.
+	resp, err := http.Get("http://" + d.Addr + "/api/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with open SSE stream: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown took %v, want prompt drain", elapsed)
+	}
+
+	// The listener is really gone.
+	if _, err := http.Get("http://" + d.Addr + "/healthz"); err == nil {
+		t.Fatal("daemon still serving after Shutdown")
+	}
+}

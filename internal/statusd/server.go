@@ -6,6 +6,7 @@
 package statusd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"gem5art/internal/core/tasks"
@@ -20,6 +22,7 @@ import (
 	"gem5art/internal/database"
 	"gem5art/internal/simcache"
 	"gem5art/internal/telemetry"
+	"gem5art/internal/version"
 )
 
 // Server wires the process-wide telemetry registry and event bus to an
@@ -49,6 +52,36 @@ type Server struct {
 	// Client performs front-tier fan-out requests (default: 2s timeout).
 	Client *http.Client
 	Start  time.Time
+
+	// stop ends long-lived handlers (the SSE stream) during graceful
+	// shutdown. Lazily initialized so struct-literal construction — the
+	// test idiom throughout this package — keeps working.
+	stopMu sync.Mutex
+	stop   chan struct{}
+}
+
+// stopCh returns the shutdown signal channel, creating it on first use.
+func (s *Server) stopCh() <-chan struct{} {
+	s.stopMu.Lock()
+	defer s.stopMu.Unlock()
+	if s.stop == nil {
+		s.stop = make(chan struct{})
+	}
+	return s.stop
+}
+
+// beginShutdown releases every long-lived handler. Idempotent.
+func (s *Server) beginShutdown() {
+	s.stopMu.Lock()
+	defer s.stopMu.Unlock()
+	if s.stop == nil {
+		s.stop = make(chan struct{})
+	}
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
 }
 
 // New returns a server over the process defaults (telemetry.Default,
@@ -67,6 +100,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", s.Registry.Handler())
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /api/version", s.version)
 	mux.HandleFunc("GET /api/runs", s.listRuns)
 	mux.HandleFunc("GET /api/runs/{id}", s.getRun)
 	mux.HandleFunc("GET /api/broker", s.brokerState)
@@ -77,18 +111,65 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// Daemon is a started statusd (or gateway-wrapped) HTTP server with a
+// graceful stop: Shutdown releases the SSE streams first, then drains
+// in-flight requests under the caller's deadline.
+type Daemon struct {
+	Addr string
+
+	srv  *http.Server
+	s    *Server
+	errc chan error
+}
+
+// StartDaemon serves handler on addr (":0" picks a free port). handler
+// defaults to s.Handler(); pass a wrapping handler (the gateway) to
+// mount extra routes while keeping s's shutdown behaviour.
+func StartDaemon(addr string, s *Server, handler http.Handler) (*Daemon, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("statusd: listen %s: %w", addr, err)
+	}
+	if handler == nil {
+		handler = s.Handler()
+	}
+	d := &Daemon{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: handler},
+		s:    s,
+		errc: make(chan error, 1),
+	}
+	go func() { d.errc <- d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Err reports the serve loop's exit error (http.ErrServerClosed after a
+// clean Shutdown).
+func (d *Daemon) Err() <-chan error { return d.errc }
+
+// Shutdown stops accepting connections and drains in-flight requests.
+// SSE streams are signalled first — they would otherwise hold the drain
+// open until their clients disconnect — and anything still running at
+// ctx's deadline is cut off.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.s.beginShutdown()
+	return d.srv.Shutdown(ctx)
+}
+
 // ListenAndServe starts the daemon on addr (":0" picks a free port) and
 // returns the bound address. The server runs until the process exits;
 // errors after startup are reported on the returned channel.
 func ListenAndServe(addr string, s *Server) (string, <-chan error, error) {
-	ln, err := net.Listen("tcp", addr)
+	d, err := StartDaemon(addr, s, nil)
 	if err != nil {
-		return "", nil, fmt.Errorf("statusd: listen %s: %w", addr, err)
+		return "", nil, err
 	}
-	errc := make(chan error, 1)
-	srv := &http.Server{Handler: s.Handler()}
-	go func() { errc <- srv.Serve(ln) }()
-	return ln.Addr().String(), errc, nil
+	return d.Addr, d.errc, nil
+}
+
+// version reports the build identity of the running daemon.
+func (s *Server) version(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, version.Get())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -418,6 +499,10 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// Flush the headers now: a client attaching to an idle stream must
+	// see the response immediately, not after the first event happens
+	// to fill the buffer.
+	_ = rc.Flush()
 
 	// push writes one event under the write deadline; false = drop client.
 	push := func(ev telemetry.Event) bool {
@@ -433,6 +518,8 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	ch, cancel := s.Bus.Subscribe(64)
 	defer cancel()
 
+	stop := s.stopCh()
+
 	var lastSeq uint64
 	for _, ev := range s.Bus.Recent(64) {
 		if !push(ev) {
@@ -444,6 +531,10 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-stop:
+			// Graceful shutdown: end the stream so the connection drain
+			// is not held open by dashboards that never disconnect.
 			return
 		case ev, open := <-ch:
 			if !open {

@@ -1,0 +1,70 @@
+// Package version reports the build identity of a gem5art binary —
+// module version, VCS revision, and toolchain — read from the build
+// info the go linker embeds. Every binary exposes it behind a -version
+// flag and the status daemon serves it at /api/version, so a multi-node
+// deployment can verify that its launchers, workers, and daemons all
+// run the same build before trusting a distributed launch.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is one binary's build identity.
+type Info struct {
+	Module   string `json:"module"`             // module path ("gem5art")
+	Version  string `json:"version"`            // module version ("(devel)" for local builds)
+	Revision string `json:"revision,omitempty"` // VCS commit hash, when built from a checkout
+	Time     string `json:"time,omitempty"`     // VCS commit time, RFC3339
+	Dirty    bool   `json:"dirty,omitempty"`    // uncommitted changes at build time
+	Go       string `json:"go"`                 // toolchain that built the binary
+}
+
+// Get reads the running binary's build info. Binaries built without
+// module support (or unit tests) degrade to module "gem5art" with an
+// unknown version rather than failing.
+func Get() Info {
+	info := Info{Module: "gem5art", Version: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, the way -version prints it.
+func (i Info) String() string {
+	out := fmt.Sprintf("%s %s (%s)", i.Module, i.Version, i.Go)
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " commit " + rev
+		if i.Dirty {
+			out += "+dirty"
+		}
+	}
+	return out
+}
+
+// String is the package-level shorthand the CLIs print for -version.
+func String() string { return Get().String() }
