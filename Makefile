@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build fmt vet test race chaos bench ci
+.PHONY: build fmt vet test race chaos bench parsim-race ci
 
 build:
 	$(GO) build ./...
@@ -61,12 +61,24 @@ chaos:
 #     per boot class), written to BENCH_cache.json;
 #   gateway — the same job batch submitted in-process vs through the
 #     authenticated multi-tenant HTTP gateway (budget: <5% overhead),
-#     written to BENCH_gateway.json.
+#     written to BENCH_gateway.json;
+#   parsim — 8-core O3+Ruby on the parallel component/port engine at
+#     1/2/4/8 workers (required: bit-identical results at every worker
+#     count, and >=2x speedup at 4 workers on hosts with >=4 CPUs),
+#     written to BENCH_parsim.json.
 # Exits non-zero if any suite misses its budget.
 bench:
 	$(GO) run ./cmd/gem5bench -suite telemetry -out BENCH_telemetry.json
 	$(GO) run ./cmd/gem5bench -suite storage -out BENCH_storage.json
 	$(GO) run ./cmd/gem5bench -suite cache -out BENCH_cache.json
 	$(GO) run ./cmd/gem5bench -suite gateway -out BENCH_gateway.json
+	$(GO) run ./cmd/gem5bench -suite parsim -out BENCH_parsim.json
+
+# parsim-race runs the simulation kernel's test suite under the race
+# detector: the scheduler's conservative windows plus the golden-stats
+# determinism tests execute with real worker pools, so any cross-
+# component data race the barrier protocol misses surfaces here.
+parsim-race:
+	$(GO) test -race -count=1 ./internal/sim/...
 
 ci: fmt vet build race

@@ -26,9 +26,14 @@
 //     admission, namespaced bookkeeping). The HTTP edge must add less
 //     than 5% end-to-end, or the service mode has regressed.
 //
+//   - parsim: runs an 8-core O3+Ruby simulation on the parallel
+//     component/port engine at 1/2/4/8 workers. Results must be
+//     bit-identical across worker counts; on hosts with >= 4 CPUs the
+//     4-worker run must additionally be >= 2x faster than 1 worker.
+//
 // Usage:
 //
-//	gem5bench [-suite telemetry|storage|cache|gateway] [-out FILE]
+//	gem5bench [-suite telemetry|storage|cache|gateway|parsim] [-out FILE]
 package main
 
 import (
@@ -122,7 +127,7 @@ func writeReport(out string, v any) {
 }
 
 func main() {
-	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry, storage, or cache")
+	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry, storage, cache, gateway, or parsim")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	events := flag.Int("events", 200_000, "telemetry: events per benchmark iteration")
 	threshold := flag.Float64("threshold", 5.0, "telemetry: maximum allowed overhead percent")
@@ -133,6 +138,10 @@ func main() {
 	gwJobs := flag.Int("gateway-jobs", 32, "gateway: jobs per submit-path measurement")
 	gwOverhead := flag.Float64("gateway-overhead", 5.0,
 		"gateway: maximum allowed HTTP submit-path overhead percent vs in-process")
+	parsimIters := flag.Int64("parsim-iters", 1500, "parsim: workload iterations per core")
+	parsimReps := flag.Int("parsim-reps", 2, "parsim: measurements per worker count (best is kept)")
+	parsimSpeedup := flag.Float64("parsim-speedup", 2.0,
+		"parsim: required 4-worker speedup over 1 worker (gated on >= 4 host CPUs)")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 
@@ -154,6 +163,8 @@ func main() {
 		pass = runCache(*out, *runs, *warmSpeedup)
 	case "gateway":
 		pass = runGatewayBench(*out, *gwJobs, *gwOverhead)
+	case "parsim":
+		pass = runParsim(*out, *parsimIters, *parsimReps, *parsimSpeedup)
 	default:
 		fmt.Fprintf(os.Stderr, "gem5bench: unknown suite %q\n", *suite)
 		os.Exit(2)

@@ -6,8 +6,15 @@
 //
 //	gem5sim -workload boot -kernel 5.4.49 -cpu TimingSimpleCPU \
 //	        -mem classic -cores 2 -boot init
+//	gem5sim -workload boot -cpu O3CPU -mem ruby.MESI_Two_Level \
+//	        -cores 8 -parallel 4
 //	gem5sim -workload parsec -benchmark dedup -os ubuntu-20.04 -cores 8
 //	gem5sim -workload gpu -benchmark FAMutex -alloc dynamic
+//
+// -parallel N runs boot workloads on the parallel component/port engine
+// with N workers. Results are deterministic — identical for every N —
+// but come from a different timing model than the default single-queue
+// engine, so compare parallel runs only with other parallel runs.
 package main
 
 import (
@@ -41,6 +48,7 @@ func main() {
 		osName      = flag.String("os", "ubuntu-18.04", "disk image OS (parsec)")
 		alloc       = flag.String("alloc", "simple", "GPU register allocator (gpu)")
 		trace       = flag.Int64("trace", 0, "print the first N executed instructions (boot)")
+		parallel    = flag.Int("parallel", 0, "run on the parallel engine with N workers (boot)")
 		showVersion = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -50,26 +58,32 @@ func main() {
 	}
 	traceInsts = *trace
 	if err := runCLI(*workload, *kver, *cpuModel, *memSys, *cores, *bootType,
-		*benchmark, *osName, *alloc); err != nil {
+		*benchmark, *osName, *alloc, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "gem5sim:", err)
 		os.Exit(1)
 	}
 }
 
 func runCLI(workload, kver, cpuModel, memSys string, cores int,
-	bootType, benchmark, osName, alloc string) error {
+	bootType, benchmark, osName, alloc string, parallel int) error {
 	switch workload {
 	case "boot":
 		if traceInsts > 0 {
+			if parallel > 0 {
+				return fmt.Errorf("-trace is only supported on the monolithic engine (drop -parallel)")
+			}
 			return traceBoot(cpuModel, cores)
 		}
-		res := kernel.Boot(kernel.Spec{
+		res := kernel.BootWith(kernel.Spec{
 			Kernel: kernel.Version(kver),
 			CPU:    cpu.Model(cpuModel),
 			Mem:    memSys,
 			Cores:  cores,
 			Boot:   kernel.BootType(bootType),
-		}, 0)
+		}, 0, kernel.BootOptions{Workers: parallel})
+		if parallel > 0 {
+			fmt.Printf("engine:      parallel (%d workers)\n", parallel)
+		}
 		fmt.Printf("outcome:     %s\n", res.Outcome)
 		fmt.Printf("sim seconds: %.6f\n", res.SimTicks.Seconds())
 		fmt.Printf("insts:       %d\n", res.Insts)

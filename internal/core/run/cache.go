@@ -49,10 +49,18 @@ func (r *Run) computeCacheKey() string {
 			hashes = append(hashes, a.Hash)
 		}
 	}
+	salt := ""
+	if r.Spec.Parallel > 0 {
+		// The parallel engine's results differ from the monolithic
+		// engine's by design; never replay one as the other. The worker
+		// count is excluded: results are worker-count-independent.
+		salt = simcache.ParallelSalt
+	}
 	return simcache.KeyInputs{
 		Kind:      r.Mode + ":" + r.Spec.RunScript,
 		Artifacts: hashes,
 		Params:    r.Spec.Params,
+		Salt:      salt,
 	}.Key()
 }
 

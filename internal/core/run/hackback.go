@@ -5,6 +5,7 @@ import (
 
 	"gem5art/internal/sim"
 	"gem5art/internal/sim/cpu"
+	"gem5art/internal/sim/mem"
 	"gem5art/internal/simcache"
 	"gem5art/internal/workloads"
 )
@@ -104,20 +105,37 @@ func runHackBack(r *Run) (*Results, error) {
 		return nil, err
 	}
 	model := cpu.Model(r.Param("cpu", string(cpu.Timing)))
-	detMem, err := buildMemParam(r.Param("mem_sys", "classic"), cores)
-	if err != nil {
-		return nil, err
+	memKind := r.Param("mem_sys", "classic")
+	var res cpu.Result
+	if r.Spec.Parallel > 0 {
+		if err := validMemKind(memKind); err != nil {
+			return nil, err
+		}
+		detailed := cpu.NewParallelSystem(cpu.Config{Model: model, Cores: cores},
+			memKind, mem.ClassicConfig{}, r.Spec.Parallel)
+		for c := 0; c < cores; c++ {
+			detailed.LoadProgram(c, prog)
+		}
+		// Carry the booted memory image over; the script starts at its own
+		// entry point, so core state resets rather than restoring.
+		if err := detailed.LoadMemImage(ck.Mem); err != nil {
+			return nil, err
+		}
+		res = detailed.Run(sim.TicksPerSecond)
+	} else {
+		detMem, err := buildMemParam(memKind, cores)
+		if err != nil {
+			return nil, err
+		}
+		detailed := cpu.NewSystem(cpu.Config{Model: model, Cores: cores}, detMem)
+		for c := 0; c < cores; c++ {
+			detailed.LoadProgram(c, prog)
+		}
+		if err := detMem.Store().LoadSnapshot(ck.Mem); err != nil {
+			return nil, err
+		}
+		res = detailed.Run(sim.TicksPerSecond)
 	}
-	detailed := cpu.NewSystem(cpu.Config{Model: model, Cores: cores}, detMem)
-	for c := 0; c < cores; c++ {
-		detailed.LoadProgram(c, prog)
-	}
-	// Carry the booted memory image over; the script starts at its own
-	// entry point, so core state resets rather than restoring.
-	if err := detMem.Store().LoadSnapshot(ck.Mem); err != nil {
-		return nil, err
-	}
-	res := detailed.Run(sim.TicksPerSecond)
 	outcome := "success"
 	if !res.Finished {
 		outcome = "timeout"

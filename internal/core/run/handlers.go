@@ -11,6 +11,7 @@ import (
 	"gem5art/internal/sim/cpu"
 	"gem5art/internal/sim/gpu"
 	"gem5art/internal/sim/kernel"
+	"gem5art/internal/sim/mem"
 	"gem5art/internal/workloads"
 )
 
@@ -138,7 +139,8 @@ func runBootExit(r *Run) (*Results, error) {
 		Cores:  cores,
 		Boot:   kernel.BootType(r.Param("boot_type", string(kernel.BootInit))),
 	}
-	res := kernel.Boot(spec, workloads.BootBudget)
+	res := kernel.BootWith(spec, workloads.BootBudget,
+		kernel.BootOptions{Workers: r.Spec.Parallel})
 	return &Results{
 		Outcome:    string(res.Outcome),
 		SimSeconds: res.SimTicks.Seconds(),
@@ -219,7 +221,9 @@ func runSuiteProgram(r *Run, suite string) (*Results, error) {
 func runNPB(r *Run) (*Results, error)   { return runSuiteProgram(r, "npb") }
 func runGAPBS(r *Run) (*Results, error) { return runSuiteProgram(r, "gapbs") }
 
-// execBinary decodes and runs one program on the configured system.
+// execBinary decodes and runs one program on the configured system —
+// monolithic by default, or the parallel component/port engine when the
+// run spec asks for workers.
 func execBinary(r *Run, bin []byte) (*Results, error) {
 	if err := r.faultPoint("run.exec"); err != nil {
 		return nil, err
@@ -233,15 +237,32 @@ func execBinary(r *Run, bin []byte) (*Results, error) {
 		return nil, err
 	}
 	model := cpu.Model(r.Param("cpu", string(cpu.Timing)))
-	memSys, err := buildMemParam(r.Param("mem_sys", "classic"), cores)
-	if err != nil {
-		return nil, err
+	memKind := r.Param("mem_sys", "classic")
+	var res cpu.Result
+	var stats map[string]float64
+	if r.Spec.Parallel > 0 {
+		if err := validMemKind(memKind); err != nil {
+			return nil, err
+		}
+		system := cpu.NewParallelSystem(cpu.Config{Model: model, Cores: cores},
+			memKind, mem.ClassicConfig{}, r.Spec.Parallel)
+		for i := 0; i < cores; i++ {
+			system.LoadProgram(i, prog)
+		}
+		res = system.Run(sim.TicksPerSecond) // 1 s simulated budget
+		stats = system.Stats().Values()
+	} else {
+		memSys, err := buildMemParam(memKind, cores)
+		if err != nil {
+			return nil, err
+		}
+		system := cpu.NewSystem(cpu.Config{Model: model, Cores: cores}, memSys)
+		for i := 0; i < cores; i++ {
+			system.LoadProgram(i, prog)
+		}
+		res = system.Run(sim.TicksPerSecond)
+		stats = system.Stats().Values()
 	}
-	system := cpu.NewSystem(cpu.Config{Model: model, Cores: cores}, memSys)
-	for i := 0; i < cores; i++ {
-		system.LoadProgram(i, prog)
-	}
-	res := system.Run(sim.TicksPerSecond) // 1 s simulated budget
 	outcome := "success"
 	if !res.Finished {
 		outcome = "timeout"
@@ -250,8 +271,8 @@ func execBinary(r *Run, bin []byte) (*Results, error) {
 		Outcome:    outcome,
 		SimSeconds: res.SimTicks.Seconds(),
 		Insts:      res.Insts,
-		Stats:      system.Stats().Values(),
+		Stats:      stats,
 		Console:    res.Console,
-		ConfigINI:  renderConfig(string(model), cores, memSys.Kind(), prog.Name),
+		ConfigINI:  renderConfig(string(model), cores, memKind, prog.Name),
 	}, nil
 }

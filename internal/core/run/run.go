@@ -55,6 +55,13 @@ type FSSpec struct {
 
 	Params  []string // "key=value" arguments to the run script
 	Timeout time.Duration
+
+	// Parallel > 0 executes the simulation on the parallel component/port
+	// engine with that many workers. The engine is a distinct timing
+	// model, so it salts the cache key (simcache.ParallelSalt); the worker
+	// count does not participate in the key because parallel results are
+	// identical for every worker count.
+	Parallel int
 }
 
 // Results captures what a finished run produced.

@@ -474,10 +474,16 @@ func (c *core) stepO3() {
 // mispredicted consults and updates a per-PC 2-bit saturating counter
 // keyed by the branch's own PC.
 func (c *core) mispredicted(pc int64, res isa.StepResult) bool {
+	return bpredMiss(c.bpred, pc, res)
+}
+
+// bpredMiss is the 2-bit saturating predictor shared by the monolithic
+// and parallel O3 cores.
+func bpredMiss(bpred map[int64]uint8, pc int64, res isa.StepResult) bool {
 	if res.Inst.Op == isa.JAL {
 		return false // unconditional
 	}
-	ctr := c.bpred[pc]
+	ctr := bpred[pc]
 	predictTaken := ctr >= 2
 	taken := res.Taken
 	if taken && ctr < 3 {
@@ -486,6 +492,6 @@ func (c *core) mispredicted(pc int64, res isa.StepResult) bool {
 	if !taken && ctr > 0 {
 		ctr--
 	}
-	c.bpred[pc] = ctr
+	bpred[pc] = ctr
 	return predictTaken != taken
 }

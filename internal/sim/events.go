@@ -27,11 +27,24 @@ type Clock struct {
 }
 
 // NewClock returns a Clock for the given frequency in Hz.
+//
+// Frequencies that do not divide the 1 THz tick rate cannot be
+// represented exactly by an integer period; the period is rounded to the
+// *nearest* tick (truncation would make every such clock run fast). The
+// residual frequency error is at most 0.5/period, e.g. a 3 GHz clock gets
+// a 333-tick period and runs ~0.1% fast — over 1e9 cycles it drifts
+// ~333 µs of simulated time ahead of an ideal 3 GHz oscillator. Callers
+// needing exact cycle accounting should pick frequencies whose period is
+// integral (any divisor of 1 THz).
 func NewClock(hz uint64) Clock {
 	if hz == 0 {
 		panic("sim: zero-frequency clock")
 	}
-	return Clock{Period: Tick(uint64(TicksPerSecond) / hz)}
+	period := (uint64(TicksPerSecond) + hz/2) / hz
+	if period == 0 {
+		period = 1 // > 1 THz clamps to the tick rate
+	}
+	return Clock{Period: Tick(period)}
 }
 
 // Cycles converts a cycle count to ticks.
@@ -142,7 +155,12 @@ func (q *EventQueue) Run() Tick {
 }
 
 // RunUntil executes events with tick <= limit, stopping early on Stop or
-// an empty queue. Time does not advance beyond the last executed event.
+// an empty queue.
+//
+// Note the gap this leaves: time does NOT advance beyond the last
+// executed event, so a caller stepping a quiesced component observes
+// Now() < limit even though the queue is provably idle through limit.
+// Use AdvanceTo when the caller needs Now() == limit afterwards.
 func (q *EventQueue) RunUntil(limit Tick) Tick {
 	q.stopped = false
 	var n uint64
@@ -158,4 +176,37 @@ func (q *EventQueue) RunUntil(limit Tick) Tick {
 	}
 	flushEvents(n)
 	return q.now
+}
+
+// AdvanceTo executes events with tick <= limit like RunUntil, then — if
+// the run was not stopped early — advances Now() to limit itself, so a
+// quiesced queue does not report stale time. Scheduling "after" a call
+// to AdvanceTo is therefore relative to limit, not to the last event.
+func (q *EventQueue) AdvanceTo(limit Tick) Tick {
+	q.RunUntil(limit)
+	if !q.stopped && limit > q.now {
+		q.now = limit
+	}
+	return q.now
+}
+
+// peekWhen returns the tick of the next pending event.
+func (q *EventQueue) peekWhen() (Tick, bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].when, true
+}
+
+// runWindow executes events with tick < end (exclusive), never stopping
+// early on Stop (conservative windows always complete), and returns the
+// number of events executed. It is the scheduler's per-component inner
+// loop; telemetry flushing is the scheduler's job, batched per component
+// at window barriers.
+func (q *EventQueue) runWindow(end Tick) (executed uint64) {
+	for len(q.events) > 0 && q.events[0].when < end {
+		q.Step()
+		executed++
+	}
+	return executed
 }

@@ -1,0 +1,92 @@
+package gpu
+
+import (
+	"fmt"
+
+	"gem5art/internal/sim"
+)
+
+// This file wraps the GPU model in a scheduler component so full-system
+// configurations can attach it to the parallel kernel. The shader-cycle
+// loop in Run is already deterministic and self-contained, so the
+// component integrates at launch granularity: a host component sends a
+// Launch over the command port, the device simulates the whole kernel
+// inside one event, and a Completion arrives after the kernel's
+// simulated duration. Back-to-back launches serialize on the device —
+// the second kernel's completion time starts where the first ended,
+// matching how gem5's GPU model queues kernels on one device stream.
+
+// CmdLinkLat is the host→device command-port link latency (order of a
+// PCIe doorbell write, and the device's conservative lookahead bound).
+const CmdLinkLat sim.Tick = 100_000 // 100 ns
+
+// Launch asks a Device to run one kernel.
+type Launch struct {
+	Kernel KernelDesc
+	Alloc  Allocator
+}
+
+// Completion answers a Launch. Its arrival tick at the host is the
+// kernel's end-of-execution time (or the rejection time for an invalid
+// launch).
+type Completion struct {
+	Result Result
+	Err    string // non-empty: the launch was rejected
+}
+
+// Device is the GPU as a simulation component.
+type Device struct {
+	cfg       Config
+	comp      *sim.Component
+	cmd       *sim.Port
+	busyUntil sim.Tick
+
+	launches *sim.Scalar
+	rejected *sim.Scalar
+	busy     *sim.Scalar
+}
+
+// NewDevice registers a GPU component on the scheduler with one command
+// port. Callers connect CmdPort to a host-side port and handle
+// Completion messages there.
+func NewDevice(sched *sim.Scheduler, name string, cfg Config) *Device {
+	cfg.Defaults()
+	comp := sched.NewComponent(name, sim.NewClock(cfg.FreqHz))
+	d := &Device{cfg: cfg, comp: comp}
+	d.launches = comp.Stats().Scalar(name+".launches", "kernel launches accepted")
+	d.rejected = comp.Stats().Scalar(name+".rejected", "kernel launches rejected")
+	d.busy = comp.Stats().Scalar(name+".busyTicks", "ticks the device spent executing kernels")
+	d.cmd = comp.NewPort("cmd", CmdLinkLat)
+	d.cmd.OnReceive(func(when sim.Tick, msg any) { d.onCmd(msg) })
+	return d
+}
+
+// CmdPort returns the device's command port.
+func (d *Device) CmdPort() *sim.Port { return d.cmd }
+
+// Config returns the device configuration (with defaults applied).
+func (d *Device) Config() Config { return d.cfg }
+
+// onCmd services one Launch: simulate the kernel, serialize it behind
+// any kernel already occupying the device, and reply at its end time.
+func (d *Device) onCmd(msg any) {
+	m, ok := msg.(Launch)
+	if !ok {
+		panic(fmt.Sprintf("gpu: device received %T", msg))
+	}
+	res, err := Run(d.cfg, m.Kernel, m.Alloc)
+	if err != nil {
+		d.rejected.Inc()
+		d.cmd.Send(Completion{Err: err.Error()})
+		return
+	}
+	d.launches.Inc()
+	start := d.comp.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	dur := d.comp.Clock().Cycles(res.Cycles)
+	d.busyUntil = start + dur
+	d.busy.Add(float64(dur))
+	d.cmd.SendAfter(d.busyUntil-d.comp.Now(), Completion{Result: res})
+}

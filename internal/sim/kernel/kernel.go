@@ -269,10 +269,30 @@ func buildMem(name string, cores int) mem.System {
 	}
 }
 
+// BootOptions selects the simulation engine for a boot attempt.
+type BootOptions struct {
+	// Workers > 0 runs the boot on the parallel component/port engine
+	// with that many workers; 0 uses the monolithic single-queue engine.
+	// The parallel engine is a distinct (deterministic) timing model, so
+	// results are comparable across worker counts but not across engines.
+	Workers int
+}
+
+// bootSystem is what Boot needs from either simulation engine.
+type bootSystem interface {
+	LoadProgram(core int, prog *isa.Program)
+	Run(maxTicks sim.Tick) cpu.Result
+}
+
 // Boot simulates one boot attempt with the given simulated-time budget
 // (0 means the default of 10 ms simulated, which generously covers every
-// successful boot at this workload scale).
+// successful boot at this workload scale) on the monolithic engine.
 func Boot(s Spec, budget sim.Tick) Result {
+	return BootWith(s, budget, BootOptions{})
+}
+
+// BootWith is Boot with an engine choice.
+func BootWith(s Spec, budget sim.Tick, opts BootOptions) Result {
 	if budget == 0 {
 		budget = 10 * sim.TicksPerSecond / 1000
 	}
@@ -283,8 +303,13 @@ func Boot(s Spec, budget sim.Tick) Result {
 		return res
 	}
 
-	m := buildMem(s.Mem, s.Cores)
-	system := cpu.NewSystem(cpu.Config{Model: s.CPU, Cores: s.Cores}, m)
+	var system bootSystem
+	if opts.Workers > 0 {
+		system = cpu.NewParallelSystem(cpu.Config{Model: s.CPU, Cores: s.Cores},
+			s.Mem, mem.ClassicConfig{}, opts.Workers)
+	} else {
+		system = cpu.NewSystem(cpu.Config{Model: s.CPU, Cores: s.Cores}, buildMem(s.Mem, s.Cores))
+	}
 	for core := 0; core < s.Cores; core++ {
 		system.LoadProgram(core, isa.Generate(bootWork(s, core)))
 	}

@@ -207,3 +207,22 @@ func TestBootDeterminism(t *testing.T) {
 		t.Fatalf("boot not deterministic: %+v vs %+v", a, b)
 	}
 }
+
+func TestBootWithParallelDeterminism(t *testing.T) {
+	// A successful multi-core cell on the parallel engine: results must
+	// be identical across worker counts, and a parallel boot must still
+	// classify as a success.
+	s := Spec{Kernel: "5.4.49", CPU: cpu.Timing, Mem: "ruby.MESI_Two_Level",
+		Cores: 4, Boot: BootInit}
+	if Expected(s) != Success {
+		t.Fatalf("test premise: %s expected success", s)
+	}
+	a := BootWith(s, 0, BootOptions{Workers: 1})
+	b := BootWith(s, 0, BootOptions{Workers: 4})
+	if a.Outcome != Success || b.Outcome != Success {
+		t.Fatalf("parallel boot outcomes: %s vs %s", a.Outcome, b.Outcome)
+	}
+	if a.SimTicks != b.SimTicks || a.Insts != b.Insts || a.Console != b.Console {
+		t.Fatalf("parallel boot diverges across workers:\n  1: %+v\n  4: %+v", a, b)
+	}
+}

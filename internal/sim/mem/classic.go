@@ -116,39 +116,46 @@ func (c *Classic) Access(now sim.Tick, req Request) sim.Tick {
 		return c.l1HitLat
 	}
 	c.l1Misses.Inc()
-	lat := c.l1HitLat + c.xbarLat
-
-	if c.l2.lookup(req.Addr) != nil {
-		c.l2Hits.Inc()
-		lat += c.l2HitLat
-	} else {
-		c.l2Misses.Inc()
-		lat += c.l2HitLat // L2 lookup cost on the way to memory
-		doneAt := c.dram.Access(now+lat, req.Addr)
-		c.dramReqs.Inc()
-		lat = doneAt - now
-		if _, vs := c.l2.insert(req.Addr, Shared); vs == Modified {
-			// Dirty victim writeback occupies the channel but the CPU
-			// does not wait for it.
-			c.dram.Access(doneAt, req.Addr)
-		}
-		if c.prefetch {
-			next := lineAddr(req.Addr) + LineBytes
-			if c.l2.peek(next) == nil {
-				// Background fill: consumes DRAM bandwidth but the CPU
-				// does not wait for it.
-				c.dram.Access(doneAt, next)
-				c.dramReqs.Inc()
-				c.prefetches.Inc()
-				c.l2.insert(next, Shared)
-			}
-		}
-	}
+	lat := c.l1HitLat + c.backsideAccess(now+c.l1HitLat, req.Addr)
 	st := Shared
 	if req.Type != Read {
 		st = Modified
 	}
 	l1.insert(req.Addr, st)
+	return lat
+}
+
+// backsideAccess services an L1 miss arriving at the crossbar at time now
+// and returns the crossbar→L2→DRAM latency. It is shared between the
+// monolithic Access path and the componentized memory controller, which
+// fields the same misses as port messages.
+func (c *Classic) backsideAccess(now sim.Tick, addr int64) sim.Tick {
+	lat := c.xbarLat
+	if c.l2.lookup(addr) != nil {
+		c.l2Hits.Inc()
+		return lat + c.l2HitLat
+	}
+	c.l2Misses.Inc()
+	lat += c.l2HitLat // L2 lookup cost on the way to memory
+	doneAt := c.dram.Access(now+lat, addr)
+	c.dramReqs.Inc()
+	lat = doneAt - now
+	if _, vs := c.l2.insert(addr, Shared); vs == Modified {
+		// Dirty victim writeback occupies the channel but the CPU
+		// does not wait for it.
+		c.dram.Access(doneAt, addr)
+	}
+	if c.prefetch {
+		next := lineAddr(addr) + LineBytes
+		if c.l2.peek(next) == nil {
+			// Background fill: consumes DRAM bandwidth but the CPU
+			// does not wait for it.
+			c.dram.Access(doneAt, next)
+			c.dramReqs.Inc()
+			c.prefetches.Inc()
+			c.l2.insert(next, Shared)
+		}
+	}
 	return lat
 }
 

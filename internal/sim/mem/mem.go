@@ -98,6 +98,16 @@ func (b *BackingStore) WriteWord(addr int64, val int64) {
 	page[(addr>>3)&511] = val
 }
 
+// Overlay copies every page of src into b, replacing pages b already
+// holds. The parallel engine uses it to fold per-core private replicas
+// over the authoritative store when serializing a checkpoint.
+func (b *BackingStore) Overlay(src *BackingStore) {
+	for key, page := range src.pages {
+		cp := *page
+		b.pages[key] = &cp
+	}
+}
+
 // FootprintBytes returns the number of bytes touched (page granularity).
 func (b *BackingStore) FootprintBytes() int64 {
 	return int64(len(b.pages)) * 4096

@@ -21,6 +21,31 @@ type dirEntry struct {
 	sharers uint64 // bitmask of cores holding S
 }
 
+// remoteL1s abstracts how the directory reaches the cores' L1 caches, so
+// the same protocol logic drives both the monolithic Ruby (direct cache
+// mutation) and the componentized memory controller (coherence messages
+// over ports, applied when they arrive at the owning core).
+type remoteL1s interface {
+	// downgrade demotes the core's copy of line to Shared, if present.
+	downgrade(core int, line int64)
+	// invalidate removes the core's copy of line.
+	invalidate(core int, line int64)
+}
+
+// localL1s is the monolithic implementation: the L1s live in the same
+// structure, so coherence actions apply immediately.
+type localL1s struct{ r *Ruby }
+
+func (l localL1s) downgrade(core int, line int64) {
+	if ol := l.r.l1s[core].peek(line); ol != nil {
+		ol.state = Shared
+	}
+}
+
+func (l localL1s) invalidate(core int, line int64) {
+	l.r.l1s[core].invalidate(line)
+}
+
 // Ruby is a directory-based coherent memory system ("slower but models
 // detailed memory with cache coherence flexibility"). The directory sits
 // with an inclusive shared L2; misses go to DDR3 DRAM.
@@ -37,6 +62,8 @@ type Ruby struct {
 	dram     *DRAM
 	store    *BackingStore
 	stats    *sim.StatGroup
+	remote   remoteL1s
+	nCores   int
 
 	l1HitLat sim.Tick
 	dirLat   sim.Tick // L1 miss -> directory/L2 lookup
@@ -68,6 +95,8 @@ func NewRuby(cores int, protocol Protocol, cfg ClassicConfig) *Ruby {
 		fwdLat:   30000, // three-hop forward
 		invLat:   28000,
 	}
+	r.nCores = cores
+	r.remote = localL1s{r}
 	for i := 0; i < cores; i++ {
 		r.l1s = append(r.l1s, newCache(cfg.L1Bytes, cfg.L1Ways))
 	}
@@ -143,9 +172,7 @@ func (r *Ruby) gets(now sim.Tick, core int, line int64) (sim.Tick, LineState) {
 	lat := r.dirLat
 	if e.owner >= 0 && e.owner != core {
 		// Owner forwards the line; both end Shared.
-		if ol := r.l1s[e.owner].peek(line); ol != nil {
-			ol.state = Shared
-		}
+		r.remote.downgrade(e.owner, line)
 		r.forwards.Inc()
 		e.sharers |= 1 << uint(e.owner)
 		e.owner = -1
@@ -169,7 +196,7 @@ func (r *Ruby) getx(now sim.Tick, core int, line int64) (sim.Tick, LineState) {
 	e := r.entry(line)
 	lat := r.dirLat
 	if e.owner >= 0 && e.owner != core {
-		r.l1s[e.owner].invalidate(line)
+		r.remote.invalidate(e.owner, line)
 		r.invals.Inc()
 		r.forwards.Inc()
 		lat += r.fwdLat
@@ -179,9 +206,9 @@ func (r *Ruby) getx(now sim.Tick, core int, line int64) (sim.Tick, LineState) {
 		// trip dominates, with a small serialization cost per extra
 		// sharer.
 		nshare := 0
-		for c := range r.l1s {
+		for c := 0; c < r.nCores; c++ {
 			if c != core && e.sharers&(1<<uint(c)) != 0 {
-				r.l1s[c].invalidate(line)
+				r.remote.invalidate(c, line)
 				r.invals.Inc()
 				nshare++
 			}
@@ -189,7 +216,7 @@ func (r *Ruby) getx(now sim.Tick, core int, line int64) (sim.Tick, LineState) {
 		if nshare > 0 {
 			lat += r.invLat + sim.Tick(nshare-1)*2000
 		}
-		if e.sharers&(1<<uint(core)) == 0 || nshare == len(r.l1s)-1 {
+		if e.sharers&(1<<uint(core)) == 0 || nshare == r.nCores-1 {
 			lat += r.l2Fill(now, line, lat)
 		}
 	}

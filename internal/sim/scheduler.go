@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Scheduler executes a set of Components over conservative time windows.
+//
+// The synchronization protocol is the classic conservative ("null
+// message free", barrier-style) one: let L be the smallest declared link
+// latency over every connected port. If the earliest pending event
+// anywhere sits at tick T, then every event in [T, T+L) is already in
+// some component's local queue — a message sent by an event at tick
+// t >= T arrives no earlier than t+L >= T+L. So the scheduler repeatedly:
+//
+//  1. finds T = min over components of their next event tick,
+//  2. lets every component execute its local events in [T, T+L) —
+//     in parallel, with no locks, because components only touch their
+//     own state and stage outgoing messages in a local outbox,
+//  3. barriers, then delivers staged messages in deterministic order
+//     (component registration order, then send order), merges stats and
+//     flushes telemetry.
+//
+// Intra-window ordering inside one component is the event queue's usual
+// (when, prio, seq) key, and cross-component delivery order is fixed by
+// the barrier, so a fixed seed produces bit-identical statistics whether
+// the window runs on one worker or eight. That determinism contract is
+// what lets parallel runs share the simulation cache with sequential
+// ones (under an engine-specific salt).
+type Scheduler struct {
+	comps   []*Component
+	workers int
+	now     Tick
+	stopped atomic.Bool
+	running bool
+
+	// lookahead is the conservative window length, derived at Run time
+	// as the minimum declared latency over all connected ports.
+	lookahead Tick
+	// maxWindow bounds the window when no ports are connected (fully
+	// independent components have unbounded lookahead in theory, but
+	// Stop and telemetry still want periodic barriers).
+	maxWindow Tick
+
+	onBarrier    func()
+	barrierEvery int
+	windows      uint64 // total windows executed (sync rounds)
+}
+
+// DefaultMaxWindow is the window used when the component graph has no
+// links: 10 µs of simulated time per synchronization round.
+const DefaultMaxWindow Tick = 10_000_000
+
+// defaultBarrierHookEvery is how many windows pass between onBarrier
+// callbacks (stat merges); the hook also always runs at Run exit.
+const defaultBarrierHookEvery = 64
+
+// NewScheduler returns a scheduler executing windows on the given number
+// of worker goroutines. workers <= 0 selects the host's CPU count;
+// workers == 1 executes components sequentially in registration order.
+// The worker count never affects simulation results, only wall-clock
+// time — that is the determinism contract, tested in scheduler_test.go
+// and enforced end to end by the golden-stats test in cpu.
+func NewScheduler(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Scheduler{workers: workers, maxWindow: DefaultMaxWindow}
+}
+
+// Workers returns the configured worker count.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Components returns the registered components in registration order.
+func (s *Scheduler) Components() []*Component { return s.comps }
+
+// Now returns the simulated time the scheduler has completed through.
+func (s *Scheduler) Now() Tick { return s.now }
+
+// Windows returns the number of synchronization rounds executed so far,
+// for tests and the parsim benchmark's overhead accounting.
+func (s *Scheduler) Windows() uint64 { return s.windows }
+
+// SetMaxWindow overrides the window length used when no ports bound the
+// lookahead. It has no effect on a linked component graph.
+func (s *Scheduler) SetMaxWindow(w Tick) {
+	if w == 0 {
+		panic("sim: zero max window")
+	}
+	s.maxWindow = w
+}
+
+// OnBarrier installs a hook run single-threaded at window barriers
+// (every defaultBarrierHookEvery windows and at Run exit). Models use it
+// to merge per-component StatGroups into an aggregate view while every
+// component is quiesced.
+func (s *Scheduler) OnBarrier(fn func()) { s.onBarrier = fn }
+
+// Stop makes the current Run return at the next window barrier. It is
+// safe to call from component events (any worker goroutine). Because
+// windows always complete fully, the set of executed events — and hence
+// every statistic — is still independent of the worker count.
+func (s *Scheduler) Stop() { s.stopped.Store(true) }
+
+// Lookahead returns the conservative window length derived from the
+// component graph's link latencies (0 before the first Run).
+func (s *Scheduler) Lookahead() Tick { return s.lookahead }
+
+// deriveLookahead validates the port graph and computes the window.
+func (s *Scheduler) deriveLookahead() Tick {
+	min := Tick(0)
+	for _, c := range s.comps {
+		for _, p := range c.ports {
+			if p.peer == nil {
+				continue
+			}
+			if min == 0 || p.latency < min {
+				min = p.latency
+			}
+		}
+	}
+	if min == 0 {
+		return s.maxWindow
+	}
+	return min
+}
+
+// Run executes events until every component's queue is empty or Stop is
+// called, and returns the completed-through tick.
+func (s *Scheduler) Run() Tick { return s.RunUntil(^Tick(0) - 1) }
+
+// RunUntil executes events with tick <= limit, stopping early on Stop or
+// a drained system. Like EventQueue.RunUntil, the clock stays at the
+// last executed window; use AdvanceTo to also consume the idle gap up to
+// limit.
+func (s *Scheduler) RunUntil(limit Tick) Tick {
+	if s.running {
+		panic("sim: Scheduler.Run is not reentrant")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped.Store(false)
+	s.lookahead = s.deriveLookahead()
+
+	var pool *windowPool
+	if s.workers > 1 && len(s.comps) > 1 {
+		pool = newWindowPool(s.comps, s.workers)
+		defer pool.close()
+	}
+
+	sinceHook := 0
+	for !s.stopped.Load() {
+		// T = earliest pending event across all components. Staged
+		// messages never exist here: the previous barrier delivered them.
+		nextT, ok := s.peekNext()
+		if !ok {
+			break
+		}
+		if nextT > limit {
+			break
+		}
+		end := nextT + s.lookahead
+		if end < nextT || end > limit {
+			end = limit + 1 // execute events at limit itself
+		}
+
+		// Execute the window on every component, in parallel when a pool
+		// exists. Components only mutate their own state, so the only
+		// synchronization is the barrier built into pool.run.
+		if pool != nil {
+			pool.run(end)
+		} else {
+			for _, c := range s.comps {
+				c.windowEvents += c.eq.runWindow(end)
+			}
+		}
+		s.windows++
+
+		s.deliver(end)
+		s.flushTelemetry(false)
+		if s.onBarrier != nil {
+			if sinceHook++; sinceHook >= defaultBarrierHookEvery {
+				sinceHook = 0
+				s.onBarrier()
+			}
+		}
+		if end > limit {
+			s.now = limit
+		} else {
+			s.now = end
+		}
+	}
+	s.flushTelemetry(true)
+	if s.onBarrier != nil {
+		s.onBarrier()
+	}
+	return s.now
+}
+
+// AdvanceTo runs events through limit and then advances the scheduler
+// clock to limit itself (unless Stop fired), mirroring
+// EventQueue.AdvanceTo: a quiesced system never reports stale time.
+func (s *Scheduler) AdvanceTo(limit Tick) Tick {
+	s.RunUntil(limit)
+	if !s.stopped.Load() && limit > s.now {
+		s.now = limit
+	}
+	return s.now
+}
+
+// peekNext returns the earliest pending event tick across components.
+func (s *Scheduler) peekNext() (Tick, bool) {
+	var min Tick
+	found := false
+	for _, c := range s.comps {
+		if w, ok := c.eq.peekWhen(); ok && (!found || w < min) {
+			min, found = w, true
+		}
+	}
+	return min, found
+}
+
+// deliver drains every component's outbox in deterministic order,
+// scheduling each staged message as a delivery event on its receiver.
+func (s *Scheduler) deliver(windowEnd Tick) {
+	for _, c := range s.comps {
+		for _, st := range c.outbox {
+			if st.when < windowEnd {
+				// A message arriving inside the window it was sent in
+				// would break the conservative bound; the port latency
+				// checks make this unreachable short of a kernel bug.
+				panic(fmt.Sprintf("sim: message on %s delivers at %d inside window ending %d",
+					st.port, st.when, windowEnd))
+			}
+			recv := st.port.peer
+			if recv.handler == nil {
+				panic(fmt.Sprintf("sim: message for port %s but no OnReceive handler", recv))
+			}
+			handler, when, msg := recv.handler, st.when, st.msg
+			recv.owner.eq.Schedule(st.when, func() { handler(when, msg) })
+		}
+		c.outbox = c.outbox[:0]
+	}
+}
+
+// flushTelemetry publishes per-component executed-event counts in
+// batches: a component's local count flushes once it crosses the batch
+// size (or unconditionally at Run exit), keeping long parallel runs live
+// on /metrics without per-event atomics.
+func (s *Scheduler) flushTelemetry(final bool) {
+	for _, c := range s.comps {
+		if c.windowEvents >= telemetryBatch || (final && c.windowEvents > 0) {
+			flushEvents(c.windowEvents)
+			c.windowEvents = 0
+		}
+	}
+}
+
+// windowPool runs windows across persistent worker goroutines. Component
+// i is owned by worker i%n for the pool's lifetime, so a component's
+// state is only ever touched by one goroutine between barriers.
+type windowPool struct {
+	start []chan Tick
+	done  chan struct{}
+}
+
+func newWindowPool(comps []*Component, workers int) *windowPool {
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	p := &windowPool{
+		start: make([]chan Tick, workers),
+		done:  make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		p.start[w] = make(chan Tick, 1)
+		go func(w int) {
+			for end := range p.start[w] {
+				for i := w; i < len(comps); i += workers {
+					comps[i].windowEvents += comps[i].eq.runWindow(end)
+				}
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+// run executes one window on all workers and barriers until every
+// component has quiesced.
+func (p *windowPool) run(end Tick) {
+	for _, ch := range p.start {
+		ch <- end
+	}
+	for range p.start {
+		<-p.done
+	}
+}
+
+func (p *windowPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}

@@ -252,3 +252,72 @@ func TestConfigTree(t *testing.T) {
 		}
 	}
 }
+
+func TestClockRounding(t *testing.T) {
+	// 3 GHz does not divide 1 THz: ideal period 333.33 ticks. Round to
+	// nearest (333), not truncate — and the residual drift over 1e9
+	// cycles must match the documented bound (~333 µs fast, <0.2%).
+	c := NewClock(3_000_000_000)
+	if c.Period != 333 {
+		t.Fatalf("3 GHz period = %d ticks, want 333", c.Period)
+	}
+	const cycles = 1_000_000_000
+	got := float64(c.Cycles(cycles))
+	ideal := float64(TicksPerSecond) / 3e9 * cycles
+	drift := ideal - got // positive: the modeled clock runs fast
+	if drift < 0 {
+		t.Fatalf("3 GHz clock runs slow by %g ticks; rounding should err fast here", -drift)
+	}
+	if rel := drift / ideal; rel > 0.002 {
+		t.Fatalf("3 GHz relative drift %g over 1e9 cycles, want ≤ 0.2%%", rel)
+	}
+	if drift > 334e6 {
+		t.Fatalf("3 GHz drift %g ticks over 1e9 cycles, want ~333 µs (≤ 334e6)", drift)
+	}
+
+	// 2.4 GHz rounds up (416.67 → 417): truncation would have kept the
+	// old silent run-fast bias.
+	if p := NewClock(2_400_000_000).Period; p != 417 {
+		t.Fatalf("2.4 GHz period = %d ticks, want 417 (round to nearest)", p)
+	}
+	// Above 1 THz the period clamps to one tick.
+	if p := NewClock(3_000_000_000_000).Period; p != 1 {
+		t.Fatalf("3 THz period = %d ticks, want clamp to 1", p)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	q := NewEventQueue()
+	ran := 0
+	q.Schedule(10, func() { ran++ })
+	q.Schedule(20, func() { ran++ })
+	q.Schedule(500, func() { ran++ })
+
+	// RunUntil leaves Now at the last executed event (the documented gap).
+	q.RunUntil(100)
+	if q.Now() != 20 {
+		t.Fatalf("RunUntil(100): Now()=%d, want 20 (last event)", q.Now())
+	}
+
+	// AdvanceTo closes it: a quiesced queue reports the limit.
+	if got := q.AdvanceTo(100); got != 100 || q.Now() != 100 {
+		t.Fatalf("AdvanceTo(100) = %d, Now()=%d, want 100", got, q.Now())
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	// After advancing, relative scheduling is relative to the limit.
+	q.After(50, func() { ran++ })
+	q.Run()
+	if ran != 4 || q.Now() != 500 {
+		t.Fatalf("ran=%d now=%d, want 4 events and now=500", ran, q.Now())
+	}
+
+	// AdvanceTo interrupted by Stop does NOT jump to the limit: time
+	// stays at the stopping event so exit causes are attributable.
+	q2 := NewEventQueue()
+	q2.Schedule(7, func() { q2.Stop() })
+	if got := q2.AdvanceTo(1000); got != 7 {
+		t.Fatalf("stopped AdvanceTo = %d, want 7", got)
+	}
+}

@@ -27,6 +27,14 @@ import (
 // without touching any input artifact.
 const SimVersionSalt = "gem5art-sim-v1"
 
+// ParallelSalt keys results produced by the parallel component/port
+// engine. Its timing model differs from the monolithic engine by design
+// (split L1/backside hierarchy, message-latency coherence), so the two
+// engines must never share cache entries; the worker count itself is
+// deliberately absent — parallel results are bit-identical across worker
+// counts, so every worker count shares one entry.
+const ParallelSalt = "gem5art-parsim-v1"
+
 // KeyInputs is the input closure a run key is computed over. The key is
 // order-insensitive in Artifacts and Params: both are sorted before
 // hashing, so launch scripts need not agree on parameter order for two
