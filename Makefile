@@ -73,6 +73,7 @@ bench:
 	$(GO) run ./cmd/gem5bench -suite cache -out BENCH_cache.json
 	$(GO) run ./cmd/gem5bench -suite gateway -out BENCH_gateway.json
 	$(GO) run ./cmd/gem5bench -suite parsim -out BENCH_parsim.json
+	$(GO) run ./cmd/gem5bench -suite energy -out BENCH_energy.json
 
 # parsim-race runs the simulation kernel's test suite under the race
 # detector: the scheduler's conservative windows plus the golden-stats

@@ -7,6 +7,7 @@
 //	gem5art parsec  [-db DIR] [-workers N] [-quick]
 //	gem5art boot    [-db DIR] [-workers N] [-quick]
 //	gem5art gpu     [-db DIR] [-workers N] [-quick]
+//	gem5art energy  [-db DIR] [-workers N] [-quick]
 //	gem5art tables
 //	gem5art summary -db DIR
 //	gem5art artifacts -db DIR
@@ -30,6 +31,7 @@ import (
 	"gem5art/internal/core/tasks/shard"
 	"gem5art/internal/database"
 	"gem5art/internal/experiments"
+	"gem5art/internal/sim/cpu"
 	"gem5art/internal/sim/kernel"
 	"gem5art/internal/simcache"
 	"gem5art/internal/statusd"
@@ -50,6 +52,8 @@ func main() {
 		err = useCase(os.Args[2:], runBoot)
 	case "gpu":
 		err = useCase(os.Args[2:], runGPU)
+	case "energy":
+		err = useCase(os.Args[2:], runEnergy)
 	case "tables":
 		fmt.Print(experiments.RenderTable1())
 		fmt.Println()
@@ -80,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gem5art <parsec|boot|gpu|tables|report|summary|artifacts|distribute|submit|version> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: gem5art <parsec|boot|gpu|energy|tables|report|summary|artifacts|distribute|submit|version> [flags]`)
 	os.Exit(2)
 }
 
@@ -212,6 +216,25 @@ func runGPU(o caseOpts) error {
 	fmt.Print(experiments.RenderTable3())
 	fmt.Println()
 	fmt.Print(study.RenderFig9())
+	return nil
+}
+
+// runEnergy is use case 4: boot energy across OS versions × CPU models
+// with the auto-selected energy model attached.
+func runEnergy(o caseOpts) error {
+	kernels, cpus := []kernel.Version(nil), []cpu.Model(nil)
+	if o.quick {
+		kernels = kernel.BootKernels[:2]
+		cpus = []cpu.Model{cpu.Timing, cpu.O3}
+	}
+	study, err := o.env.RunEnergySweep(o.workers, kernels, cpus)
+	if err != nil {
+		return err
+	}
+	fmt.Print(study.JoulesChart())
+	fmt.Println()
+	fmt.Print(study.EDPChart())
+	fmt.Println(study.Summary())
 	return nil
 }
 

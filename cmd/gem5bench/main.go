@@ -31,9 +31,15 @@
 //     bit-identical across worker counts; on hosts with >= 4 CPUs the
 //     4-worker run must additionally be >= 2x faster than 1 worker.
 //
+//   - energy: runs the parsim configuration with and without the
+//     matching energy model attached. The energy stats are read-through
+//     formulas — nothing per event — so the with-energy run must stay
+//     within a 2% wall-clock budget, and the energy totals must be
+//     bit-identical at 1/2/4 workers.
+//
 // Usage:
 //
-//	gem5bench [-suite telemetry|storage|cache|gateway|parsim] [-out FILE]
+//	gem5bench [-suite telemetry|storage|cache|gateway|parsim|energy] [-out FILE]
 package main
 
 import (
@@ -127,7 +133,7 @@ func writeReport(out string, v any) {
 }
 
 func main() {
-	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry, storage, cache, gateway, or parsim")
+	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry, storage, cache, gateway, parsim, or energy")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	events := flag.Int("events", 200_000, "telemetry: events per benchmark iteration")
 	threshold := flag.Float64("threshold", 5.0, "telemetry: maximum allowed overhead percent")
@@ -142,6 +148,10 @@ func main() {
 	parsimReps := flag.Int("parsim-reps", 2, "parsim: measurements per worker count (best is kept)")
 	parsimSpeedup := flag.Float64("parsim-speedup", 2.0,
 		"parsim: required 4-worker speedup over 1 worker (gated on >= 4 host CPUs)")
+	energyIters := flag.Int64("energy-iters", 1500, "energy: workload iterations per core")
+	energyReps := flag.Int("energy-reps", 5, "energy: measurement pairs per worker count (best is kept)")
+	energyOverhead := flag.Float64("energy-overhead", 2.0,
+		"energy: maximum allowed wall-clock overhead percent with the model attached")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 
@@ -165,6 +175,8 @@ func main() {
 		pass = runGatewayBench(*out, *gwJobs, *gwOverhead)
 	case "parsim":
 		pass = runParsim(*out, *parsimIters, *parsimReps, *parsimSpeedup)
+	case "energy":
+		pass = runEnergyBench(*out, *energyIters, *energyReps, *energyOverhead)
 	default:
 		fmt.Fprintf(os.Stderr, "gem5bench: unknown suite %q\n", *suite)
 		os.Exit(2)

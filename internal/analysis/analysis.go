@@ -23,6 +23,12 @@ type RunRow struct {
 	Outcome    string
 	SimSeconds float64
 	Insts      float64
+	// Energy columns, populated for runs executed with FSSpec.Energy
+	// set (zero otherwise): total joules, average watts, and the
+	// energy-delay product.
+	Joules float64
+	Watts  float64
+	EDP    float64
 }
 
 // ExtractRuns flattens every run document matching filter.
@@ -35,6 +41,9 @@ func ExtractRuns(db database.Store, filter database.Doc) []RunRow {
 		row.Outcome, _ = d["outcome"].(string)
 		row.SimSeconds, _ = d["sim_seconds"].(float64)
 		row.Insts, _ = d["insts"].(float64)
+		row.Joules, _ = d["energy_joules"].(float64)
+		row.Watts, _ = d["energy_watts"].(float64)
+		row.EDP, _ = d["energy_edp"].(float64)
 		if ps, ok := d["params"].([]any); ok {
 			for _, p := range ps {
 				if s, ok := p.(string); ok {

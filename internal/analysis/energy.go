@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Energy analysis: metric selectors for GroupBy/BarChart over the
+// energy columns, a CSV export with joules/watts/EDP, and series
+// differencing for A-vs-B comparisons (which configuration costs more
+// energy, Figure 6 style).
+
+// MetricJoules selects a run's total energy.
+func MetricJoules(r RunRow) float64 { return r.Joules }
+
+// MetricWatts selects a run's average power.
+func MetricWatts(r RunRow) float64 { return r.Watts }
+
+// MetricEDP selects a run's energy-delay product.
+func MetricEDP(r RunRow) float64 { return r.EDP }
+
+// MetricSimSeconds selects a run's simulated time.
+func MetricSimSeconds(r RunRow) float64 { return r.SimSeconds }
+
+// EnergyCSV writes one line per run with the energy columns alongside
+// the run identity: name, the requested params (in order), status,
+// outcome, sim_seconds, joules, watts, edp.
+func EnergyCSV(w io.Writer, rows []RunRow, params ...string) error {
+	header := append([]string{"name"}, params...)
+	header = append(header, "status", "outcome", "sim_seconds", "joules", "watts", "edp")
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		rec := []string{r.Name}
+		for _, p := range params {
+			rec = append(rec, r.Params[p])
+		}
+		rec = append(rec, r.Status, r.Outcome,
+			fmt.Sprintf("%g", r.SimSeconds),
+			fmt.Sprintf("%g", r.Joules),
+			fmt.Sprintf("%g", r.Watts),
+			fmt.Sprintf("%g", r.EDP))
+		out = append(out, rec)
+	}
+	return WriteCSV(w, header, out)
+}
+
+// Diff returns a-b per label (labels follow a; labels absent from b
+// contribute b=0), named "a-b". With BarChart's negative-value bars
+// this renders which side of a comparison costs more.
+func Diff(a, b Series) Series {
+	out := Series{Name: a.Name + "-" + b.Name}
+	for i, l := range a.Labels {
+		out.Labels = append(out.Labels, l)
+		out.Values = append(out.Values, a.Values[i]-b.Value(l))
+	}
+	return out
+}

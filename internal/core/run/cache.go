@@ -56,10 +56,23 @@ func (r *Run) computeCacheKey() string {
 		// count is excluded: results are worker-count-independent.
 		salt = simcache.ParallelSalt
 	}
+	params := r.Spec.Params
+	if r.Spec.Energy != "" {
+		// An energy-enabled run produces a different result document
+		// (energy.* stats), and two runs with different coefficients
+		// must not replay each other, so the resolved model's content
+		// hash joins the key. Resolution errors fall back to the raw
+		// spec string — CreateFSRun already rejected invalid specs.
+		tag := "energy-model=" + r.Spec.Energy
+		if m, err := r.energyModel(); err == nil && m != nil {
+			tag = "energy-model=" + m.Name + ":" + m.Salt()
+		}
+		params = append(append([]string(nil), params...), tag)
+	}
 	return simcache.KeyInputs{
 		Kind:      r.Mode + ":" + r.Spec.RunScript,
 		Artifacts: hashes,
-		Params:    r.Spec.Params,
+		Params:    params,
 		Salt:      salt,
 	}.Key()
 }

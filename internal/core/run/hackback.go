@@ -3,6 +3,7 @@ package run
 import (
 	"fmt"
 
+	"gem5art/internal/energy"
 	"gem5art/internal/sim"
 	"gem5art/internal/sim/cpu"
 	"gem5art/internal/sim/mem"
@@ -106,13 +107,25 @@ func runHackBack(r *Run) (*Results, error) {
 	}
 	model := cpu.Model(r.Param("cpu", string(cpu.Timing)))
 	memKind := r.Param("mem_sys", "classic")
+	emodel, err := r.energyModel()
+	if err != nil {
+		return nil, err
+	}
 	var res cpu.Result
+	// Energy accounts the detailed phase-2 system only: the fast KVM
+	// boot is shared across the whole class, so charging it to one run
+	// would make identical scripts report different joules depending on
+	// who happened to pay for the boot.
+	var detStats map[string]float64
 	if r.Spec.Parallel > 0 {
 		if err := validMemKind(memKind); err != nil {
 			return nil, err
 		}
 		detailed := cpu.NewParallelSystem(cpu.Config{Model: model, Cores: cores},
 			memKind, mem.ClassicConfig{}, r.Spec.Parallel)
+		if emodel != nil {
+			energy.Attach(detailed.Stats(), emodel, energy.AttachOptions{})
+		}
 		for c := 0; c < cores; c++ {
 			detailed.LoadProgram(c, prog)
 		}
@@ -122,12 +135,18 @@ func runHackBack(r *Run) (*Results, error) {
 			return nil, err
 		}
 		res = detailed.Run(sim.TicksPerSecond)
+		if emodel != nil {
+			detStats = detailed.Stats().Values()
+		}
 	} else {
 		detMem, err := buildMemParam(memKind, cores)
 		if err != nil {
 			return nil, err
 		}
 		detailed := cpu.NewSystem(cpu.Config{Model: model, Cores: cores}, detMem)
+		if emodel != nil {
+			energy.Attach(detailed.Stats(), emodel, energy.AttachOptions{}, detMem.Stats())
+		}
 		for c := 0; c < cores; c++ {
 			detailed.LoadProgram(c, prog)
 		}
@@ -135,6 +154,9 @@ func runHackBack(r *Run) (*Results, error) {
 			return nil, err
 		}
 		res = detailed.Run(sim.TicksPerSecond)
+		if emodel != nil {
+			detStats = detailed.Stats().Values()
+		}
 	}
 	outcome := "success"
 	if !res.Finished {
@@ -150,15 +172,19 @@ func runHackBack(r *Run) (*Results, error) {
 		console = fmt.Sprintf("restored boot-class checkpoint %s (boot skipped)\nscript %s complete\nm5 exit",
 			ckptHash[:12], bench)
 	}
+	stats := map[string]float64{
+		"boot_insts":   float64(bootInsts),
+		"script_insts": float64(res.Insts),
+		"sim_seconds":  res.SimTicks.Seconds(),
+	}
+	for k, v := range detStats {
+		stats[k] = v
+	}
 	return &Results{
-		Outcome:    outcome,
-		SimSeconds: res.SimTicks.Seconds(),
-		Insts:      bootInsts + res.Insts,
-		Stats: map[string]float64{
-			"boot_insts":   float64(bootInsts),
-			"script_insts": float64(res.Insts),
-			"sim_seconds":  res.SimTicks.Seconds(),
-		},
+		Outcome:     outcome,
+		SimSeconds:  res.SimTicks.Seconds(),
+		Insts:       bootInsts + res.Insts,
+		Stats:       stats,
 		Console:     console,
 		ResumedFrom: resumedFrom,
 		BootClass:   classKey,

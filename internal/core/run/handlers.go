@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"gem5art/internal/diskimage"
+	"gem5art/internal/energy"
 	"gem5art/internal/sim"
 	"gem5art/internal/sim/cpu"
 	"gem5art/internal/sim/gpu"
@@ -110,7 +111,7 @@ func runParsec(r *Run) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Results{
+	res := &Results{
 		Outcome:    "success",
 		SimSeconds: m.SimSeconds,
 		Insts:      m.Insts,
@@ -122,7 +123,17 @@ func runParsec(r *Run) (*Results, error) {
 		Console: fmt.Sprintf("PARSEC %s (%s input) on %s: ROI complete\nm5 exit",
 			benchmark, r.Param("size", "simmedium"), osImg.Name),
 		ConfigINI: renderConfig(string(cpu.Timing), cores, "classic", "parsec/"+benchmark),
-	}, nil
+	}
+	// PARSEC metrics only survive as a flat map; evaluate the model over
+	// the counters it carries (the rest contribute zero).
+	emodel, err := r.energyModel()
+	if err != nil {
+		return nil, err
+	}
+	if err := evaluateEnergy(res, emodel, 0); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // runBootExit implements the boot-exit resource's run script: Figure 8's
@@ -139,18 +150,28 @@ func runBootExit(r *Run) (*Results, error) {
 		Cores:  cores,
 		Boot:   kernel.BootType(r.Param("boot_type", string(kernel.BootInit))),
 	}
+	emodel, err := r.energyModel()
+	if err != nil {
+		return nil, err
+	}
 	res := kernel.BootWith(spec, workloads.BootBudget,
-		kernel.BootOptions{Workers: r.Spec.Parallel})
+		kernel.BootOptions{Workers: r.Spec.Parallel, Energy: emodel})
+	stats := map[string]float64{
+		"sim_seconds": res.SimTicks.Seconds(),
+		"sim_insts":   float64(res.Insts),
+	}
+	// An energy-enabled boot returns the booted system's full stat dump
+	// (energy.* included); archive all of it.
+	for k, v := range res.Stats {
+		stats[k] = v
+	}
 	return &Results{
 		Outcome:    string(res.Outcome),
 		SimSeconds: res.SimTicks.Seconds(),
 		Insts:      res.Insts,
-		Stats: map[string]float64{
-			"sim_seconds": res.SimTicks.Seconds(),
-			"sim_insts":   float64(res.Insts),
-		},
-		Console:   res.Console,
-		ConfigINI: renderConfig(string(spec.CPU), spec.Cores, spec.Mem, "boot-exit/"+string(spec.Boot)),
+		Stats:      stats,
+		Console:    res.Console,
+		ConfigINI:  renderConfig(string(spec.CPU), spec.Cores, spec.Mem, "boot-exit/"+string(spec.Boot)),
 	}, nil
 }
 
@@ -186,7 +207,7 @@ func runGPU(r *Run) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Results{
+	out := &Results{
 		Outcome:    "success",
 		SimSeconds: float64(res.Cycles) / 1e9, // 1 GHz shader clock
 		Insts:      res.Ops,
@@ -200,7 +221,17 @@ func runGPU(r *Run) (*Results, error) {
 		},
 		Console: fmt.Sprintf("GPU kernel %s with %s register allocator: %d shader ticks",
 			app, alloc, res.Cycles),
-	}, nil
+	}
+	// The GPU model has no stat group; evaluate the model over the
+	// reported counters at the 1 GHz shader clock.
+	emodel, err := r.energyModel()
+	if err != nil {
+		return nil, err
+	}
+	if err := evaluateEnergy(out, emodel, 1_000_000_000); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // runSuiteProgram runs a single-program suite benchmark from the disk
@@ -238,6 +269,10 @@ func execBinary(r *Run, bin []byte) (*Results, error) {
 	}
 	model := cpu.Model(r.Param("cpu", string(cpu.Timing)))
 	memKind := r.Param("mem_sys", "classic")
+	emodel, err := r.energyModel()
+	if err != nil {
+		return nil, err
+	}
 	var res cpu.Result
 	var stats map[string]float64
 	if r.Spec.Parallel > 0 {
@@ -246,6 +281,9 @@ func execBinary(r *Run, bin []byte) (*Results, error) {
 		}
 		system := cpu.NewParallelSystem(cpu.Config{Model: model, Cores: cores},
 			memKind, mem.ClassicConfig{}, r.Spec.Parallel)
+		if emodel != nil {
+			energy.Attach(system.Stats(), emodel, energy.AttachOptions{})
+		}
 		for i := 0; i < cores; i++ {
 			system.LoadProgram(i, prog)
 		}
@@ -257,6 +295,10 @@ func execBinary(r *Run, bin []byte) (*Results, error) {
 			return nil, err
 		}
 		system := cpu.NewSystem(cpu.Config{Model: model, Cores: cores}, memSys)
+		if emodel != nil {
+			// Monolithic memory counters live in their own group.
+			energy.Attach(system.Stats(), emodel, energy.AttachOptions{}, memSys.Stats())
+		}
 		for i := 0; i < cores; i++ {
 			system.LoadProgram(i, prog)
 		}

@@ -62,6 +62,13 @@ type FSSpec struct {
 	// count does not participate in the key because parallel results are
 	// identical for every worker count.
 	Parallel int
+
+	// Energy enables per-component energy accounting: a built-in preset
+	// name (energy.PresetNames), "auto" to compose the preset matching
+	// the run's cpu/mem_sys parameters, or a path to a JSON model file.
+	// The resolved model's content hash salts the cache key, so editing
+	// a model file or changing presets re-keys every affected run.
+	Energy string
 }
 
 // Results captures what a finished run produced.
@@ -174,6 +181,11 @@ func CreateFSRun(reg *artifact.Registry, spec FSSpec) (*Run, error) {
 		Spec:   spec,
 		Status: Queued,
 		reg:    reg,
+	}
+	// A bad energy spec (unknown preset, malformed model file) fails at
+	// creation, not mid-sweep.
+	if _, err := r.energyModel(); err != nil {
+		return nil, err
 	}
 	r.cacheKey = r.computeCacheKey()
 	if _, err := reg.DB().Collection(Collection).InsertOne(r.doc()); err != nil {
@@ -426,6 +438,13 @@ func (r *Run) doc() database.Doc {
 		d["stats_file"] = r.Results.StatsHash
 		d["console_file"] = r.Results.ConsoleHash
 		d["config_file"] = r.Results.ConfigHash
+		// Energy headline numbers are first-class document fields so
+		// analysis can query them without unpacking the stats archive.
+		if j, ok := r.Results.Stats["energy.total_joules"]; ok {
+			d["energy_joules"] = j
+			d["energy_watts"] = r.Results.Stats["energy.avg_watts"]
+			d["energy_edp"] = r.Results.Stats["energy.edp"]
+		}
 	}
 	if !r.WallStart.IsZero() && !r.WallEnd.IsZero() {
 		d["wall_seconds"] = r.WallEnd.Sub(r.WallStart).Seconds()

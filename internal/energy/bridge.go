@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"strings"
+
+	"gem5art/internal/sim"
+	"gem5art/internal/telemetry"
+)
+
+// Bridge exposes a stat group's energy statistics on a telemetry
+// registry (statusd serves telemetry.Default at /metrics) as
+// read-through gauges, one sample per component plus a "total" series:
+//
+//	gem5art_energy_joules{system,component}
+//	gem5art_energy_watts{system,component}
+//	gem5art_energy_edp{system}
+//
+// Like sim.BridgeStats, values are read at scrape time, so a dashboard
+// follows a long simulation live without duplicated counters. Groups
+// without attached energy stats emit nothing.
+func Bridge(reg *telemetry.Registry, system string, g *sim.StatGroup) {
+	reg.Collector("gem5art_energy_joules",
+		"energy attributed per simulated component (J)",
+		func(emit func(labels []telemetry.Label, value float64)) {
+			for name, v := range g.Values() {
+				if comp, ok := componentOf(name, ".joules", "energy.total_joules"); ok {
+					emit(energyLabels(system, comp), v)
+				}
+			}
+		})
+	reg.Collector("gem5art_energy_watts",
+		"average power per simulated component over sim time (W)",
+		func(emit func(labels []telemetry.Label, value float64)) {
+			for name, v := range g.Values() {
+				if comp, ok := componentOf(name, ".avg_watts", "energy.avg_watts"); ok {
+					emit(energyLabels(system, comp), v)
+				}
+			}
+		})
+	reg.Collector("gem5art_energy_edp",
+		"energy-delay product of the simulated system (J*s)",
+		func(emit func(labels []telemetry.Label, value float64)) {
+			if s := g.Lookup("energy.edp"); s != nil {
+				emit([]telemetry.Label{{Name: "system", Value: system}}, s.Value())
+			}
+		})
+}
+
+func energyLabels(system, comp string) []telemetry.Label {
+	return []telemetry.Label{
+		{Name: "system", Value: system},
+		{Name: "component", Value: telemetry.SanitizeName(comp)},
+	}
+}
+
+// componentOf extracts the component label from an energy stat name of
+// the form "energy.<component><suffix>"; totalName is the whole-system
+// series ("total"). Per-component dynamic/static breakdown stats do not
+// match either pattern and are skipped.
+func componentOf(name, suffix, totalName string) (string, bool) {
+	if name == totalName {
+		return "total", true
+	}
+	if !strings.HasPrefix(name, "energy.") || !strings.HasSuffix(name, suffix) {
+		return "", false
+	}
+	comp := strings.TrimSuffix(strings.TrimPrefix(name, "energy."), suffix)
+	if comp == "" || strings.Contains(comp, "joules") {
+		return "", false
+	}
+	return comp, true
+}

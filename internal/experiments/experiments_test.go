@@ -183,3 +183,60 @@ func TestShortKernel(t *testing.T) {
 		t.Fatal("shortKernel")
 	}
 }
+
+func TestEnergySweepSubset(t *testing.T) {
+	e, err := NewEnv("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := []kernel.Version{"4.4.186", "5.4.49"}
+	cpus := []cpu.Model{cpu.Timing, cpu.O3}
+	study, err := e.RunEnergySweep(2, kernels, cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(study.Rows))
+	}
+	for _, r := range study.Rows {
+		if r.Joules <= 0 || r.Watts <= 0 || r.EDP <= 0 {
+			t.Errorf("%s: joules=%v watts=%v edp=%v", r.Name, r.Joules, r.Watts, r.EDP)
+		}
+	}
+	// O3 dissipates more per instruction and more leakage than Timing,
+	// so its average power must be higher; but it also finishes the boot
+	// in less simulated time, so its energy-delay product must be lower
+	// (race-to-idle).
+	joules := func(k kernel.Version, c cpu.Model) (j, w, e float64) {
+		for _, r := range study.Rows {
+			if r.Params["kernel"] == string(k) && r.Params["cpu"] == string(c) {
+				return r.Joules, r.Watts, r.EDP
+			}
+		}
+		return 0, 0, 0
+	}
+	for _, k := range kernels {
+		_, o3W, o3EDP := joules(k, cpu.O3)
+		_, tW, tEDP := joules(k, cpu.Timing)
+		if o3W <= tW {
+			t.Errorf("kernel %s: O3 %v W <= Timing %v W", k, o3W, tW)
+		}
+		if o3EDP >= tEDP {
+			t.Errorf("kernel %s: O3 EDP %v >= Timing EDP %v", k, o3EDP, tEDP)
+		}
+	}
+	if chart := study.JoulesChart(); !strings.Contains(chart, "boot energy") ||
+		!strings.Contains(chart, string(cpu.O3)) {
+		t.Fatalf("joules chart:\n%s", chart)
+	}
+	if chart := study.EDPChart(); !strings.Contains(chart, "EDP") {
+		t.Fatalf("edp chart:\n%s", chart)
+	}
+	csv := study.CSV()
+	if !strings.Contains(csv, "joules") || !strings.Contains(csv, "O3CPU") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+	if !strings.Contains(study.Summary(), "4 cells") {
+		t.Fatalf("summary: %s", study.Summary())
+	}
+}

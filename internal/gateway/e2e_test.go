@@ -68,8 +68,13 @@ func TestEndToEndTwoTenantsShardedFleet(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// One fast worker per shard handling the boot suite's job kind.
+	// One fast worker per shard handling the boot suite's job kind. The
+	// handler blocks until the over-quota check below has run: otherwise
+	// beta's jobs can complete between two submits, freeing capacity and
+	// turning the expected 429 into a 202.
+	release := make(chan struct{})
 	fastBoot := func(json.RawMessage) (any, error) {
+		<-release
 		return map[string]any{"outcome": "kernel_panic_free", "sim_seconds": 0.01}, nil
 	}
 	for s := 0; s < 2; s++ {
@@ -132,6 +137,7 @@ func TestEndToEndTwoTenantsShardedFleet(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
+	close(release)
 
 	// Both launches run to completion through the real fleet.
 	waitLaunch := func(token, id string) map[string]any {

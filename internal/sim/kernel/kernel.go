@@ -17,6 +17,7 @@ package kernel
 import (
 	"fmt"
 
+	"gem5art/internal/energy"
 	"gem5art/internal/sim"
 	"gem5art/internal/sim/cpu"
 	"gem5art/internal/sim/isa"
@@ -92,6 +93,11 @@ type Result struct {
 	SimTicks sim.Tick
 	Insts    uint64
 	Console  string
+	// Stats holds the full stat dump of the booted system — including
+	// the energy.* statistics — when BootOptions.Energy is set; nil
+	// otherwise (plain boots keep the lean result the sweep machinery
+	// always had).
+	Stats map[string]float64
 }
 
 // Expected returns the outcome the gem5 v20.1 compatibility model
@@ -276,12 +282,17 @@ type BootOptions struct {
 	// The parallel engine is a distinct (deterministic) timing model, so
 	// results are comparable across worker counts but not across engines.
 	Workers int
+	// Energy, when non-nil, attaches the energy model to the booted
+	// system's stat group before the simulation runs and returns the
+	// full stat values (energy.* included) in Result.Stats.
+	Energy *energy.Model
 }
 
 // bootSystem is what Boot needs from either simulation engine.
 type bootSystem interface {
 	LoadProgram(core int, prog *isa.Program)
 	Run(maxTicks sim.Tick) cpu.Result
+	Stats() *sim.StatGroup
 }
 
 // Boot simulates one boot attempt with the given simulated-time budget
@@ -292,12 +303,12 @@ func Boot(s Spec, budget sim.Tick) Result {
 }
 
 // BootWith is Boot with an engine choice.
-func BootWith(s Spec, budget sim.Tick, opts BootOptions) Result {
+func BootWith(s Spec, budget sim.Tick, opts BootOptions) (res Result) {
 	if budget == 0 {
 		budget = 10 * sim.TicksPerSecond / 1000
 	}
 	expected := Expected(s)
-	res := Result{Spec: s, Outcome: expected}
+	res = Result{Spec: s, Outcome: expected}
 	if expected == Unsupported {
 		res.Console = fmt.Sprintf("fatal: %s is not supported with %s", s.CPU, s.Mem)
 		return res
@@ -307,12 +318,28 @@ func BootWith(s Spec, budget sim.Tick, opts BootOptions) Result {
 	if opts.Workers > 0 {
 		system = cpu.NewParallelSystem(cpu.Config{Model: s.CPU, Cores: s.Cores},
 			s.Mem, mem.ClassicConfig{}, opts.Workers)
+		if opts.Energy != nil {
+			// The parallel engine's merged group already carries every
+			// core and controller counter.
+			energy.Attach(system.Stats(), opts.Energy, energy.AttachOptions{})
+		}
 	} else {
-		system = cpu.NewSystem(cpu.Config{Model: s.CPU, Cores: s.Cores}, buildMem(s.Mem, s.Cores))
+		memory := buildMem(s.Mem, s.Cores)
+		system = cpu.NewSystem(cpu.Config{Model: s.CPU, Cores: s.Cores}, memory)
+		if opts.Energy != nil {
+			// The monolithic engine keeps memory counters in their own
+			// group; resolve them as an extra source.
+			energy.Attach(system.Stats(), opts.Energy, energy.AttachOptions{}, memory.Stats())
+		}
 	}
 	for core := 0; core < s.Cores; core++ {
 		system.LoadProgram(core, isa.Generate(bootWork(s, core)))
 	}
+	defer func() {
+		if opts.Energy != nil {
+			res.Stats = system.Stats().Values()
+		}
+	}()
 
 	switch expected {
 	case Success:

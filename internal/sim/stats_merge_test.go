@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the window-barrier merge semantics the parallel engine
+// and the energy layer depend on: MergeGroups recomputes aggregates from
+// scratch (so repeated barrier merges never double-count), histograms
+// merge bucket-wise with exact sample/sum accounting, and formulas —
+// including the energy formulas registered over a merged group — read
+// the merged values without being touched by the merge itself.
+
+func TestDeclareFromPreservesShape(t *testing.T) {
+	src := NewStatGroup()
+	src.Scalar("hits", "cache hits")
+	src.Vector("perCore", "per-core count", 3)
+	src.Histogram("lat", "latency", 10, 5, 4)
+	src.Formula("ratio", "derived", func() float64 { return 1 })
+
+	dst := NewStatGroup()
+	dst.DeclareFrom(src)
+
+	if dst.Lookup("hits") == nil {
+		t.Fatal("scalar not declared")
+	}
+	v, ok := dst.Lookup("perCore").(*Vector)
+	if !ok || len(v.vs) != 3 {
+		t.Fatalf("vector shape not preserved: %#v", dst.Lookup("perCore"))
+	}
+	h, ok := dst.Lookup("lat").(*Histogram)
+	if !ok || h.min != 10 || h.width != 5 || len(h.buckets) != 5 {
+		t.Fatalf("histogram binning not preserved: %#v", h)
+	}
+	if dst.Lookup("ratio") != nil {
+		t.Fatal("formula leaked into aggregate group")
+	}
+	// Re-declaring is a no-op, not a duplicate-registration panic.
+	dst.DeclareFrom(src)
+}
+
+func TestMergeGroupsIdempotentAtBarriers(t *testing.T) {
+	a, b := NewStatGroup(), NewStatGroup()
+	ah, bh := a.Scalar("hits", "h"), b.Scalar("hits", "h")
+	av, bv := a.Vector("insts", "i", 2), b.Vector("insts", "i", 2)
+
+	dst := NewStatGroup()
+	dst.DeclareFrom(a, b)
+
+	ah.Add(3)
+	bh.Add(4)
+	av.Add(0, 10)
+	bv.Add(1, 20)
+
+	// First window barrier.
+	MergeGroups(dst, a, b)
+	if got := dst.Lookup("hits").Value(); got != 7 {
+		t.Fatalf("hits after barrier 1 = %v", got)
+	}
+	// Sources keep accumulating; the next barrier must not double-count
+	// the first window's contribution.
+	ah.Add(1)
+	bv.Add(0, 5)
+	MergeGroups(dst, a, b)
+	if got := dst.Lookup("hits").Value(); got != 8 {
+		t.Fatalf("hits after barrier 2 = %v (double-counted?)", got)
+	}
+	if got := dst.Lookup("insts").Value(); got != 35 {
+		t.Fatalf("insts after barrier 2 = %v", got)
+	}
+	// A barrier with nothing new is exactly a no-op.
+	before := dst.Values()
+	MergeGroups(dst, a, b)
+	for k, v := range dst.Values() {
+		if before[k] != v {
+			t.Fatalf("repeat merge changed %s: %v -> %v", k, before[k], v)
+		}
+	}
+}
+
+func TestMergeHistogramsAtBarrier(t *testing.T) {
+	a, b := NewStatGroup(), NewStatGroup()
+	ah := a.Histogram("lat", "latency", 0, 10, 3)
+	bh := b.Histogram("lat", "latency", 0, 10, 3)
+	for _, v := range []float64{5, 15, 15} {
+		ah.Sample(v)
+	}
+	for _, v := range []float64{25, 1000} { // 1000 lands in the overflow bin
+		bh.Sample(v)
+	}
+
+	dst := NewStatGroup()
+	dst.DeclareFrom(a)
+	MergeGroups(dst, a, b)
+
+	h := dst.Lookup("lat").(*Histogram)
+	if h.Samples() != 5 {
+		t.Fatalf("samples = %v", h.Samples())
+	}
+	want := (5.0 + 15 + 15 + 25 + 1000) / 5
+	if h.Mean() != want {
+		t.Fatalf("mean = %v, want %v", h.Mean(), want)
+	}
+	for i, wantB := range []float64{1, 2, 1, 1} {
+		if h.buckets[i] != wantB {
+			t.Fatalf("bucket %d = %v, want %v", i, h.buckets[i], wantB)
+		}
+	}
+	// Second barrier after more samples: recomputed, not accumulated.
+	ah.Sample(5)
+	MergeGroups(dst, a, b)
+	if h.Samples() != 6 || h.buckets[0] != 2 {
+		t.Fatalf("after barrier 2: samples=%v bucket0=%v", h.Samples(), h.buckets[0])
+	}
+}
+
+func TestMergeShapeMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short vector in dst", func() {
+		src := NewStatGroup()
+		src.Vector("v", "", 4)
+		dst := NewStatGroup()
+		dst.Vector("v", "", 2)
+		MergeGroups(dst, src)
+	})
+	mustPanic("histogram binning mismatch", func() {
+		src := NewStatGroup()
+		src.Histogram("h", "", 0, 10, 3)
+		dst := NewStatGroup()
+		dst.Histogram("h", "", 0, 20, 3)
+		MergeGroups(dst, src)
+	})
+}
+
+func TestFormulaOverMergedValues(t *testing.T) {
+	a, b := NewStatGroup(), NewStatGroup()
+	ai, bi := a.Scalar("insts", ""), b.Scalar("insts", "")
+	ac, bc := a.Scalar("cycles", ""), b.Scalar("cycles", "")
+
+	dst := NewStatGroup()
+	dst.DeclareFrom(a, b)
+	insts, cycles := dst.Lookup("insts"), dst.Lookup("cycles")
+	ipc := dst.Formula("ipc", "merged ipc", func() float64 {
+		if cycles.Value() == 0 {
+			return 0
+		}
+		return insts.Value() / cycles.Value()
+	})
+
+	ai.Add(30)
+	bi.Add(10)
+	ac.Add(15)
+	bc.Add(5)
+	MergeGroups(dst, a, b)
+	if ipc.Value() != 2 {
+		t.Fatalf("ipc = %v", ipc.Value())
+	}
+	// Formulas appear in Values and Dump alongside merged stats, and a
+	// later barrier is reflected without re-registering anything.
+	if dst.Values()["ipc"] != 2 {
+		t.Fatalf("Values ipc = %v", dst.Values()["ipc"])
+	}
+	ac.Add(5)
+	MergeGroups(dst, a, b)
+	if ipc.Value() != 1.6 {
+		t.Fatalf("ipc after barrier 2 = %v", ipc.Value())
+	}
+	if !strings.Contains(dst.Dump(), "ipc") {
+		t.Fatal("formula missing from dump")
+	}
+}
