@@ -23,14 +23,18 @@ race:
 # seeded network-chaos proxy tests, the broker/worker session and
 # durability tests, the shard replication/failover unit suite, and the
 # end-to-end launches that kill the broker, partition each worker, flap
-# every connection, and rolling-kill all four shard primaries
-# mid-launch. The invariant under test: every launch completes with
-# zero lost and zero duplicated job results.
+# every connection, rolling-kill all four shard primaries mid-launch,
+# and inject every disk-fault class (EIO, ENOSPC, short write, fsync
+# failure, torn rename, torn write) into the broker's durable queue.
+# The invariant under test: every launch completes with zero lost and
+# zero duplicated job results, and a store that cannot persist degrades
+# to read-only instead of acknowledging doomed commits.
 #
 # The e2e launches run as a seed matrix (CHAOS_SEEDS) so a flake on one
 # seed is a deterministic repro, not a shrug. Each seed's transcript is
 # written to CHAOS_ARTIFACTS; on failure the tests also drop a repro
-# report (seed, fired faults, fleet state snapshot) and the shard
+# report (seed, fired faults — including the DiskChaos fired-fault log —
+# fleet state snapshot) plus a scrub/quarantine report and the shard
 # brokers' journals there. CHAOS_JOBS sizes the sharded launch.
 CHAOS_SEEDS ?= 4242 1337 90210
 CHAOS_JOBS ?= 10000
@@ -65,7 +69,10 @@ chaos:
 #   parsim — 8-core O3+Ruby on the parallel component/port engine at
 #     1/2/4/8 workers (required: bit-identical results at every worker
 #     count, and >=2x speedup at 4 workers on hosts with >=4 CPUs),
-#     written to BENCH_parsim.json.
+#     written to BENCH_parsim.json;
+#   scrub — the storage suite's journaled insert sweep with the
+#     background integrity scrubber on a 100ms cadence (budget: <2% of
+#     the sweep window spent verifying), written to BENCH_scrub.json.
 # Exits non-zero if any suite misses its budget.
 bench:
 	$(GO) run ./cmd/gem5bench -suite telemetry -out BENCH_telemetry.json
@@ -74,6 +81,7 @@ bench:
 	$(GO) run ./cmd/gem5bench -suite gateway -out BENCH_gateway.json
 	$(GO) run ./cmd/gem5bench -suite parsim -out BENCH_parsim.json
 	$(GO) run ./cmd/gem5bench -suite energy -out BENCH_energy.json
+	$(GO) run ./cmd/gem5bench -suite scrub -out BENCH_scrub.json
 
 # parsim-race runs the simulation kernel's test suite under the race
 # detector: the scheduler's conservative windows plus the golden-stats

@@ -57,6 +57,8 @@ func main() {
 		"default tenant edge rate for -gateway, e.g. rps=20,burst=40")
 	fleetN := flag.Int("fleet", 1, "shard count for the hosted control plane in -gateway mode")
 	listen := flag.String("listen", "127.0.0.1:0", "broker listen address in unsharded -gateway mode")
+	scrub := flag.Duration("scrub", 0,
+		"background integrity-scrub interval for the -db store (0 disables; reports at /api/scrub)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
@@ -67,16 +69,16 @@ func main() {
 	}
 
 	if err := run(*addr, *dbDir, *shardURLs, *gatewayMode, *tenantsPath,
-		*quotaFlag, *rateFlag, *fleetN, *listen, *drain); err != nil {
+		*quotaFlag, *rateFlag, *fleetN, *listen, *scrub, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "gem5artd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, dbDir, shardURLs string, gatewayMode bool, tenantsPath,
-	quotaFlag, rateFlag string, fleetN int, listen string, drain time.Duration) error {
+	quotaFlag, rateFlag string, fleetN int, listen string, scrub, drain time.Duration) error {
 	if gatewayMode {
-		return runGateway(addr, dbDir, tenantsPath, quotaFlag, rateFlag, fleetN, listen, drain)
+		return runGateway(addr, dbDir, tenantsPath, quotaFlag, rateFlag, fleetN, listen, scrub, drain)
 	}
 
 	var s *statusd.Server
@@ -97,6 +99,10 @@ func run(addr, dbDir, shardURLs string, gatewayMode bool, tenantsPath,
 		}
 		defer db.Close()
 		s = statusd.New(db)
+		if sc := startScrubber(db, scrub); sc != nil {
+			defer sc.Close()
+			s.Scrubber = sc
+		}
 	}
 
 	d, err := statusd.StartDaemon(addr, s, nil)
@@ -111,10 +117,23 @@ func run(addr, dbDir, shardURLs string, gatewayMode bool, tenantsPath,
 	return waitAndDrain(d, nil, drain)
 }
 
+// startScrubber launches the background integrity scrubber when an
+// interval was asked for and the store is a real on-disk database.
+func startScrubber(db database.Store, interval time.Duration) *database.Scrubber {
+	if interval <= 0 {
+		return nil
+	}
+	real, ok := db.(*database.DB)
+	if !ok {
+		return nil
+	}
+	return database.StartScrubber(real, interval, nil)
+}
+
 // runGateway hosts the multi-tenant service: broker or fleet, statusd
 // routes, and the authenticated gateway API on one address.
 func runGateway(addr, dbDir, tenantsPath, quotaFlag, rateFlag string,
-	fleetN int, listen string, drain time.Duration) error {
+	fleetN int, listen string, scrub, drain time.Duration) error {
 	cfg, err := loadGatewayConfig(tenantsPath, quotaFlag, rateFlag)
 	if err != nil {
 		return err
@@ -167,6 +186,10 @@ func runGateway(addr, dbDir, tenantsPath, quotaFlag, rateFlag string,
 	s := statusd.New(db)
 	s.Broker = broker
 	s.Fleet = fleet
+	if sc := startScrubber(db, scrub); sc != nil {
+		defer sc.Close()
+		s.Scrubber = sc
+	}
 	g := gateway.New(cfg, ctrl, backend, db, s.Handler())
 
 	d, err := statusd.StartDaemon(addr, s, g.Handler())

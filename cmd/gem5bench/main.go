@@ -37,9 +37,14 @@
 //     within a 2% wall-clock budget, and the energy totals must be
 //     bit-identical at 1/2/4 workers.
 //
+//   - scrub: runs the storage suite's journaled insert sweep with and
+//     without the background integrity scrubber attached to the same
+//     store. Continuous hash/journal verification must stay within a
+//     2% wall-clock budget on the write path.
+//
 // Usage:
 //
-//	gem5bench [-suite telemetry|storage|cache|gateway|parsim|energy] [-out FILE]
+//	gem5bench [-suite telemetry|storage|cache|gateway|parsim|energy|scrub] [-out FILE]
 package main
 
 import (
@@ -133,7 +138,7 @@ func writeReport(out string, v any) {
 }
 
 func main() {
-	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry, storage, cache, gateway, parsim, or energy")
+	suite := flag.String("suite", "telemetry", "benchmark suite: telemetry, storage, cache, gateway, parsim, energy, or scrub")
 	out := flag.String("out", "", "output file (default BENCH_<suite>.json)")
 	events := flag.Int("events", 200_000, "telemetry: events per benchmark iteration")
 	threshold := flag.Float64("threshold", 5.0, "telemetry: maximum allowed overhead percent")
@@ -152,6 +157,8 @@ func main() {
 	energyReps := flag.Int("energy-reps", 5, "energy: measurement pairs per worker count (best is kept)")
 	energyOverhead := flag.Float64("energy-overhead", 2.0,
 		"energy: maximum allowed wall-clock overhead percent with the model attached")
+	scrubOverhead := flag.Float64("scrub-overhead", 2.0,
+		"scrub: maximum allowed insert-sweep overhead percent with the scrubber running")
 	showVersion := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
 
@@ -177,6 +184,8 @@ func main() {
 		pass = runParsim(*out, *parsimIters, *parsimReps, *parsimSpeedup)
 	case "energy":
 		pass = runEnergyBench(*out, *energyIters, *energyReps, *energyOverhead)
+	case "scrub":
+		pass = runScrubBench(*out, *docs, *scrubOverhead)
 	default:
 		fmt.Fprintf(os.Stderr, "gem5bench: unknown suite %q\n", *suite)
 		os.Exit(2)

@@ -83,11 +83,11 @@ func assertNoExtraResults(t *testing.T, ch <-chan tasks.JobResult) {
 func chaosJobID(i int) string { return fmt.Sprintf("sweep-%03d", i) }
 
 // dumpChaosOnFailure registers a cleanup that, if the test failed,
-// writes a deterministic-repro report (seed, fired network faults, a
-// state snapshot) and copies the broker store into CHAOS_ARTIFACTS —
-// the transcript CI uploads so a chaotic failure reproduces from the
-// build output alone.
-func dumpChaosOnFailure(t *testing.T, seed int64, storeDir string, snapshot func() map[string]any, nets ...*faultinject.NetChaos) {
+// writes a deterministic-repro report (seed, fired network and disk
+// faults, a state snapshot) and copies the broker store into
+// CHAOS_ARTIFACTS — the transcript CI uploads so a chaotic failure
+// reproduces from the build output alone.
+func dumpChaosOnFailure(t *testing.T, seed int64, storeDir string, snapshot func() map[string]any, nets ...faultinject.ReportSource) {
 	t.Cleanup(func() {
 		if !t.Failed() {
 			return
@@ -258,7 +258,7 @@ func TestChaosWorkerPartitions(t *testing.T) {
 	dumpChaosOnFailure(t, seed, "", func() map[string]any {
 		st := b.State()
 		return map[string]any{"pending": st.Pending, "inflight": len(st.InFlight), "workers": st.Workers}
-	}, nets...)
+	}, faultinject.Sources(nets)...)
 
 	for i := 0; i < jobs; i++ {
 		id := chaosJobID(i)

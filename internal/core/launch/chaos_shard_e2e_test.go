@@ -97,7 +97,7 @@ func TestChaosShardedFleetRollingKills(t *testing.T) {
 			}
 			_ = faultinject.CopyJournals(fmt.Sprintf("shard-%d", i), fleetDir)
 		}
-		if path, err := faultinject.WriteReport(t.Name(), seed, snapshot, nets...); err == nil {
+		if path, err := faultinject.WriteReport(t.Name(), seed, snapshot, faultinject.Sources(nets)...); err == nil {
 			t.Logf("chaos failure report: %s", path)
 		}
 	})

@@ -134,7 +134,7 @@ func TestHackBackSurvivesBogusPriorCheckpoint(t *testing.T) {
 
 	// A hash whose content is not a checkpoint: integrity passes, parse
 	// fails, fresh boot follows.
-	notCkpt := e.reg.DB().Files().Put("junk", []byte("not a checkpoint"))
+	notCkpt, _ := e.reg.DB().Files().Put("junk", []byte("not a checkpoint"))
 	r2, err := CreateFSRun(e.reg, hackSpec(e, e.bootDisk, "junk-ckpt", "boot-exit", "boot-exit", "1"))
 	if err != nil {
 		t.Fatal(err)

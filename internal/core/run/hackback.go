@@ -76,7 +76,9 @@ func runHackBack(r *Run) (*Results, error) {
 				for _, c := range parsed.Cores {
 					bootInsts += c.Insts
 				}
-				r.RecordCheckpoint(hash, classKey)
+				if hash != "" { // archive may have been skipped (low disk, degraded store)
+					r.RecordCheckpoint(hash, classKey)
+				}
 			}
 		}
 	}
@@ -86,8 +88,12 @@ func runHackBack(r *Run) (*Results, error) {
 			return nil, err
 		}
 		ck, bootInsts = booted, insts
-		ckptHash = r.reg.DB().Files().Put(r.Spec.Output+"/cpt.1", ck.Serialize())
-		r.RecordCheckpoint(ckptHash, classKey)
+		// Best-effort archive: a degraded store costs the checkpoint copy,
+		// not the run.
+		if h, err := r.reg.DB().Files().Put(r.Spec.Output+"/cpt.1", ck.Serialize()); err == nil {
+			ckptHash = h
+			r.RecordCheckpoint(ckptHash, classKey)
+		}
 	}
 	if err := r.faultPoint("run.hackback.phase2"); err != nil {
 		return nil, err
@@ -134,7 +140,11 @@ func runHackBack(r *Run) (*Results, error) {
 		if err := detailed.LoadMemImage(ck.Mem); err != nil {
 			return nil, err
 		}
+		stopWatch := watchSim(r.ID, detailed.Scheduler(), r.stallDeadline())
 		res = detailed.Run(sim.TicksPerSecond)
+		if serr := stopWatch(); serr != nil && !res.Finished {
+			return nil, serr
+		}
 		if emodel != nil {
 			detStats = detailed.Stats().Values()
 		}
@@ -163,14 +173,14 @@ func runHackBack(r *Run) (*Results, error) {
 		outcome = "timeout"
 	}
 	console := fmt.Sprintf("m5 checkpoint (archived %s)\nrestored; script %s complete\nm5 exit",
-		ckptHash[:12], bench)
+		shortHash(ckptHash), bench)
 	switch {
 	case resumedFrom != "":
 		console = fmt.Sprintf("resumed from checkpoint %s (boot skipped)\nscript %s complete\nm5 exit",
-			resumedFrom[:12], bench)
+			shortHash(resumedFrom), bench)
 	case sharedBoot:
 		console = fmt.Sprintf("restored boot-class checkpoint %s (boot skipped)\nscript %s complete\nm5 exit",
-			ckptHash[:12], bench)
+			shortHash(ckptHash), bench)
 	}
 	stats := map[string]float64{
 		"boot_insts":   float64(bootInsts),
@@ -210,4 +220,13 @@ func hackBoot(cores int) (*cpu.Checkpoint, uint64, error) {
 		return nil, 0, fmt.Errorf("run: hack-back boot did not finish")
 	}
 	return fast.SaveCheckpoint(), bootRes.Insts, nil
+}
+
+// shortHash abbreviates a checkpoint hash for console strings,
+// tolerating the empty hash an unarchived checkpoint leaves behind.
+func shortHash(h string) string {
+	if len(h) < 12 {
+		return "unarchived"
+	}
+	return h[:12]
 }

@@ -287,7 +287,11 @@ func execBinary(r *Run, bin []byte) (*Results, error) {
 		for i := 0; i < cores; i++ {
 			system.LoadProgram(i, prog)
 		}
+		stopWatch := watchSim(r.ID, system.Scheduler(), r.stallDeadline())
 		res = system.Run(sim.TicksPerSecond) // 1 s simulated budget
+		if serr := stopWatch(); serr != nil && !res.Finished {
+			return nil, serr
+		}
 		stats = system.Stats().Values()
 	} else {
 		memSys, err := buildMemParam(memKind, cores)

@@ -68,7 +68,7 @@ func TestExecuteHackbackJobFetchesByHash(t *testing.T) {
 	cache := simcache.New(db, simcache.Options{})
 	blob, _ := bootBlob(t)
 	class := simcache.BootClass{KernelHash: "k", DiskHash: "d", Cores: 1, Mem: "classic"}
-	hash := cache.PutCheckpoint(class, "bootclass/fetch/cpt.1", blob)
+	hash, _ := cache.PutCheckpoint(class, "bootclass/fetch/cpt.1", blob)
 
 	sd := statusd.New(db)
 	sd.Cache = cache

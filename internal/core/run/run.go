@@ -398,14 +398,23 @@ func (r *Run) archiveLocked() {
 	for k, v := range r.Results.Stats {
 		fmt.Fprintf(&stats, "%s %g\n", k, v)
 	}
+	// Archiving is best-effort: a degraded store loses the artifact copy
+	// but not the run's results, which live on the run document. An empty
+	// hash on the document is the record that the archive was skipped.
 	if stats.Len() > 0 {
-		r.Results.StatsHash = fs.Put(r.Spec.Output+"/stats.txt", []byte(stats.String()))
+		if h, err := fs.Put(r.Spec.Output+"/stats.txt", []byte(stats.String())); err == nil {
+			r.Results.StatsHash = h
+		}
 	}
 	if r.Results.Console != "" {
-		r.Results.ConsoleHash = fs.Put(r.Spec.Output+"/system.pc.com_1.device", []byte(r.Results.Console))
+		if h, err := fs.Put(r.Spec.Output+"/system.pc.com_1.device", []byte(r.Results.Console)); err == nil {
+			r.Results.ConsoleHash = h
+		}
 	}
 	if r.Results.ConfigINI != "" {
-		r.Results.ConfigHash = fs.Put(r.Spec.Output+"/config.ini", []byte(r.Results.ConfigINI))
+		if h, err := fs.Put(r.Spec.Output+"/config.ini", []byte(r.Results.ConfigINI)); err == nil {
+			r.Results.ConfigHash = h
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+package run
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gem5art/internal/sim"
+	"gem5art/internal/telemetry"
+)
+
+// Simulation-progress watchdog: a wedged simulation (a livelocked
+// model, a scheduler worker stuck behind a disk fault) would otherwise
+// hold its worker slot forever — heartbeats keep flowing, so the
+// broker's liveness layer never notices. The watchdog polls the
+// scheduler's window counter on a wall-clock cadence and cancels the
+// run when no window has completed within the stall deadline; the
+// resulting StallError is transient, so the retry layer reschedules
+// the run instead of failing the launch.
+
+// DefaultStallDeadline is how long a parallel simulation may go without
+// completing a single scheduler window before the watchdog cancels it.
+// Windows complete every few microseconds of host time in a healthy
+// run, so two minutes of zero advance is a wedge, not a slow phase.
+const DefaultStallDeadline = 2 * time.Minute
+
+var runStalls = telemetry.Default.Counter("gem5art_run_stalls_total",
+	"simulations canceled by the progress watchdog (no scheduler window advance)")
+
+// StallError reports a simulation canceled by the progress watchdog.
+// The message contains "transient" so the broker-side retry classifier
+// (tasks.DefaultRetryable) reschedules the run even when the error
+// arrives as a bare string over the wire.
+type StallError struct {
+	RunID    string
+	Windows  uint64 // scheduler windows completed when progress stopped
+	Deadline time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("run %s: simulation stalled (transient): no scheduler window advance in %s (stuck after window %d); canceled for retry",
+		e.RunID, e.Deadline, e.Windows)
+}
+
+// Transient marks the stall retryable for in-process classification.
+func (e *StallError) Transient() bool { return true }
+
+// stallDeadline resolves the run's watchdog deadline: the
+// "stall_deadline_ms" run parameter when set (0 disables the watchdog),
+// DefaultStallDeadline otherwise.
+func (r *Run) stallDeadline() time.Duration {
+	ms, err := intParam(r, "stall_deadline_ms", int(DefaultStallDeadline/time.Millisecond))
+	if err != nil {
+		return DefaultStallDeadline
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// watchSim supervises sched until the returned stop function is
+// called: if the window counter fails to advance for deadline, the
+// scheduler is stopped (canceling Run at the next barrier) and stop
+// returns the StallError. deadline <= 0 disables supervision. The
+// caller must ignore the error when the run finished on its own — a
+// stall firing in the instant between completion and stop is a false
+// positive, not a wedge.
+func watchSim(runID string, sched *sim.Scheduler, deadline time.Duration) func() *StallError {
+	if deadline <= 0 || sched == nil {
+		return func() *StallError { return nil }
+	}
+	quit := make(chan struct{})
+	var stalled atomic.Pointer[StallError]
+	go func() {
+		tick := deadline / 8
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		last := sched.Windows()
+		lastAdvance := time.Now()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+			}
+			cur := sched.Windows()
+			if cur != last {
+				last, lastAdvance = cur, time.Now()
+				continue
+			}
+			if time.Since(lastAdvance) >= deadline {
+				stalled.Store(&StallError{RunID: runID, Windows: cur, Deadline: deadline})
+				runStalls.Inc()
+				sched.Stop()
+				return
+			}
+		}
+	}()
+	var once atomic.Bool
+	return func() *StallError {
+		if once.CompareAndSwap(false, true) {
+			close(quit)
+		}
+		return stalled.Load()
+	}
+}

@@ -45,4 +45,6 @@ var (
 		"broker sessions re-established by workers after a connection loss")
 	workerResultResends = telemetry.Default.Counter("gem5art_worker_result_resends_total",
 		"unacked results resent by workers after a reconnect")
+	workerHandlerPanics = telemetry.Default.Counter("gem5art_worker_handler_panics_total",
+		"handler panics recovered into structured retryable job failures")
 )

@@ -593,6 +593,30 @@ func (f *Fleet) Health() error {
 	return nil
 }
 
+// Scrub runs one integrity-scrub pass over every shard primary, using
+// that shard's standby file store as the repair source: a blob the
+// primary quarantines is restored from the replicated copy when the
+// standby still verifies it. Returns one report per shard, indexed by
+// shard number.
+func (f *Fleet) Scrub() []*database.ScrubReport {
+	f.mu.Lock()
+	type pair struct{ primary, standby *database.DB }
+	pairs := make([]pair, 0, len(f.shards))
+	for _, s := range f.shards {
+		pairs = append(pairs, pair{s.primaryDB, s.standbyDB})
+	}
+	f.mu.Unlock()
+	reports := make([]*database.ScrubReport, len(pairs))
+	for i, p := range pairs {
+		var source database.RepairSource
+		if p.standby != nil {
+			source = database.FileRepair(p.standby.Files())
+		}
+		reports[i] = p.primary.Scrub(source)
+	}
+	return reports
+}
+
 // Close stops every broker, shipper, and monitor goroutine, closes the
 // stores, and closes the Results channel. Unfinished jobs are parked in
 // the shard stores' durable queues.

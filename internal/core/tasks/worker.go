@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -38,6 +39,11 @@ type WorkerOptions struct {
 	// Dial overrides the broker dial (default net.Dial "tcp") — the
 	// hook chaos tests use to interpose faultinject.NetChaos.
 	Dial func(addr string) (net.Conn, error)
+	// FaultLog, when set, supplies the injected faults that have fired
+	// in this worker process — included in the FailureBundle of a
+	// recovered panic so a chaos failure is traceable to the fault that
+	// provoked it. Wire it to faultinject DiskChaos/NetChaos event logs.
+	FaultLog func() []string
 }
 
 // DefaultReconnectPolicy retries forever with 100ms..5s exponential
@@ -402,7 +408,7 @@ func (w *Worker) runJob(j *workerJob) {
 		h, ok := w.handlers[env.Kind]
 		if !ok {
 			res.Error = fmt.Sprintf("no handler for kind %q", env.Kind)
-		} else if out, err := safeHandle(h, env.Payload); err != nil {
+		} else if out, err := w.safeHandle(h, env); err != nil {
 			res.Error = err.Error()
 		} else if out != nil {
 			if raw, merr := json.Marshal(out); merr == nil {
@@ -432,13 +438,36 @@ func (w *Worker) runJob(j *workerJob) {
 	_ = w.sendEnv(res)
 }
 
-func safeHandle(h JobHandler, payload json.RawMessage) (out any, err error) {
+// safeHandle executes one handler, converting a panic into a
+// structured, retryable job failure instead of killing the worker: the
+// error carries a FailureBundle (stack, run key, the injected faults
+// that fired in this process) so the launcher can diagnose the attempt
+// the retry replaces. Injected CrashPanics re-panic — they simulate the
+// whole process dying and must reach runJob's crash recovery.
+func (w *Worker) safeHandle(h JobHandler, env Envelope) (out any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("handler panicked: %v", r)
+			if _, crash := r.(faultinject.CrashPanic); crash {
+				panic(r)
+			}
+			workerHandlerPanics.Inc()
+			b := &FailureBundle{
+				Reason:  "panic",
+				Error:   fmt.Sprint(r),
+				Stack:   string(debug.Stack()),
+				JobID:   env.ID,
+				Kind:    env.Kind,
+				Attempt: env.Attempt,
+				Worker:  w.id,
+				RunKey:  runKeyFromPayload(env.Payload),
+			}
+			if w.opts.FaultLog != nil {
+				b.Faults = w.opts.FaultLog()
+			}
+			err = fmt.Errorf("%s", b.Encode())
 		}
 	}()
-	return h(payload)
+	return h(env.Payload)
 }
 
 // Kill drops the worker's connection abruptly without the graceful

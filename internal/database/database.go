@@ -67,6 +67,11 @@ type Options struct {
 	// document count, so delete/update-heavy workloads do not replay
 	// unbounded history at startup.
 	CompactAfter int
+	// FS is the filesystem the engine's durable paths run through
+	// (nil = the real filesystem). Chaos tests thread a
+	// faultinject.DiskChaos here to inject deterministic disk faults
+	// under the journal, snapshots, and the blob store.
+	FS storage.FS
 }
 
 // DefaultOptions is the configuration Open uses: journaled, fsync on
@@ -105,6 +110,9 @@ func open(dir string, opts Options) (*DB, error) {
 	if opts.CompactAfter <= 0 {
 		opts.CompactAfter = 8192
 	}
+	if opts.FS == nil {
+		opts.FS = storage.OSFS
+	}
 	db := &DB{
 		dir:         dir,
 		opts:        opts,
@@ -129,7 +137,43 @@ type DB struct {
 	collections map[string]*collection
 	files       *fileStore
 	compactWG   sync.WaitGroup
-	closed      bool // set by Close; surfaced through Health
+	closed      bool                   // set by Close; surfaced through Health
+	degraded    *storage.DegradedError // first durability failure; store is read-only once set
+}
+
+// fs returns the filesystem the engine's durable paths run through.
+func (db *DB) fs() storage.FS {
+	if db.opts.FS == nil {
+		return storage.OSFS
+	}
+	return db.opts.FS
+}
+
+// degrade flips the store into read-only degraded mode on the first
+// durability failure and returns the degraded error every subsequent
+// mutation gets. Reads keep serving from memory; Health (and through
+// it statusd /healthz) reports the reason until an operator repairs
+// the disk and reopens the store.
+func (db *DB) degrade(reason string, err error) *storage.DegradedError {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.degraded == nil {
+		db.degraded = &storage.DegradedError{Reason: reason, Err: err}
+		dbDegraded.Set(1)
+		dbDegradedTotal.With(reason).Inc()
+	}
+	return db.degraded
+}
+
+// Degraded returns the *storage.DegradedError that flipped the store
+// read-only, or nil while the store is healthy.
+func (db *DB) Degraded() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.degraded == nil {
+		return nil
+	}
+	return db.degraded
 }
 
 // Collection returns the named collection, creating it if necessary.
@@ -253,9 +297,14 @@ func sameKeys(a, b []string) bool {
 }
 
 // InsertOne inserts a deep copy of d, assigning an "_id" if absent,
-// and returns the id.
+// and returns the id. The journal record commits before memory is
+// touched: a journal failure returns *storage.DegradedError and the
+// document is not inserted.
 func (c *collection) InsertOne(d Doc) (string, error) {
 	defer observeOp("insert", time.Now())
+	if err := c.db.Degraded(); err != nil {
+		return "", err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cp := storage.CloneDoc(d)
@@ -263,16 +312,19 @@ func (c *collection) InsertOne(d Doc) (string, error) {
 		c.nextID++
 		cp["_id"] = fmt.Sprintf("%s-%d", c.name, c.nextID)
 	}
-	if err := c.insertLocked(cp); err != nil {
+	if err := c.checkInsertLocked(cp); err != nil {
 		return "", err
 	}
-	c.logRecord(journalRecord{Op: opInsert, Doc: cp})
+	if err := c.logRecord(journalRecord{Op: opInsert, Doc: cp}); err != nil {
+		return "", err
+	}
+	c.applyInsertLocked(cp)
 	return fmt.Sprint(cp["_id"]), nil
 }
 
-// insertLocked validates cp against every unique index and appends it.
-// The caller holds c.mu and has already deep-copied the document.
-func (c *collection) insertLocked(cp Doc) error {
+// checkInsertLocked validates cp against "_id" and every unique index.
+// Caller holds c.mu.
+func (c *collection) checkInsertLocked(cp Doc) error {
 	id := fmt.Sprint(cp["_id"])
 	if _, dup := c.byID[id]; dup {
 		return &ErrDuplicate{Collection: c.name, Keys: []string{"_id"}}
@@ -282,13 +334,19 @@ func (c *collection) insertLocked(cp Doc) error {
 			return &ErrDuplicate{Collection: c.name, Keys: idx.keys}
 		}
 	}
+	return nil
+}
+
+// applyInsertLocked appends a validated document. The caller holds
+// c.mu, has deep-copied the document, and has journaled the insert.
+func (c *collection) applyInsertLocked(cp Doc) {
+	id := fmt.Sprint(cp["_id"])
 	pos := len(c.docs)
 	c.docs = append(c.docs, cp)
 	c.byID[id] = pos
 	for _, idx := range c.uniques {
 		idx.pos[canonicalKey(cp, idx.keys)] = pos
 	}
-	return nil
 }
 
 // InsertMany inserts documents in order, stopping at the first error.
@@ -404,6 +462,9 @@ func (c *collection) AggregateKey(filter Doc, key string) Aggregate {
 // and leaves the store unchanged.
 func (c *collection) UpdateOne(filter, set Doc) (bool, error) {
 	defer observeOp("update", time.Now())
+	if err := c.db.Degraded(); err != nil {
+		return false, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	pos := -1
@@ -449,43 +510,59 @@ func (c *collection) UpdateOne(filter, set Doc) (bool, error) {
 		}
 		rekeys = append(rekeys, rekey{idx, oldKey, newKey})
 	}
+	setCopy := storage.CloneDoc(set)
+	delete(setCopy, "_id")
+	// Journal first: a failed commit must leave the document and the
+	// indexes untouched.
+	if err := c.logRecord(journalRecord{Op: opUpdate, ID: fmt.Sprint(d["_id"]), Set: setCopy}); err != nil {
+		return false, err
+	}
 	for _, rk := range rekeys {
 		delete(rk.idx.pos, rk.old)
 		rk.idx.pos[rk.new] = pos
 	}
-	setCopy := storage.CloneDoc(set)
-	delete(setCopy, "_id")
 	for k, v := range setCopy {
 		d[k] = v
 	}
-	c.logRecord(journalRecord{Op: opUpdate, ID: fmt.Sprint(d["_id"]), Set: setCopy})
 	return true, nil
 }
 
 // DeleteMany removes all matching documents and returns how many were
-// removed.
+// removed. On a degraded store (or a journal failure during the
+// commit) nothing is removed and 0 is returned — the interface carries
+// no error, so refusing the whole operation is the fail-fast answer.
 func (c *collection) DeleteMany(filter Doc) int {
 	defer observeOp("delete", time.Now())
+	if err := c.db.Degraded(); err != nil {
+		return 0
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	kept := c.docs[:0]
 	var removedIDs []string
 	for _, d := range c.docs {
 		if storage.Matches(d, filter) {
 			removedIDs = append(removedIDs, fmt.Sprint(d["_id"]))
-			continue
 		}
-		kept = append(kept, d)
 	}
 	if len(removedIDs) == 0 {
 		return 0
+	}
+	// Journal first: a failed commit must not drop documents from
+	// memory that a reopen would resurrect.
+	if err := c.logRecord(journalRecord{Op: opDelete, IDs: removedIDs}); err != nil {
+		return 0
+	}
+	kept := c.docs[:0]
+	for _, d := range c.docs {
+		if !storage.Matches(d, filter) {
+			kept = append(kept, d)
+		}
 	}
 	for i := len(kept); i < len(c.docs); i++ {
 		c.docs[i] = nil // release removed docs
 	}
 	c.docs = kept
 	c.rebuildIndexesLocked()
-	c.logRecord(journalRecord{Op: opDelete, IDs: removedIDs})
 	return len(removedIDs)
 }
 

@@ -210,7 +210,7 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	db := MustOpen("")
 	fs := db.Files()
 	data := bytes.Repeat([]byte("vmlinux-5.4.51 "), 40000) // ~600 KB, >2 chunks
-	hash := fs.Put("vmlinux", data)
+	hash, _ := fs.Put("vmlinux", data)
 	if !fs.Exists(hash) {
 		t.Fatal("stored file not found by hash")
 	}
@@ -233,8 +233,8 @@ func TestFileStoreRoundTrip(t *testing.T) {
 func TestFileStoreDeduplicates(t *testing.T) {
 	db := MustOpen("")
 	fs := db.Files()
-	h1 := fs.Put("a", []byte("same-content"))
-	h2 := fs.Put("b", []byte("same-content"))
+	h1, _ := fs.Put("a", []byte("same-content"))
+	h2, _ := fs.Put("b", []byte("same-content"))
 	if h1 != h2 {
 		t.Fatalf("same content hashed differently: %s vs %s", h1, h2)
 	}
@@ -264,7 +264,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	blob := []byte("disk image bytes")
-	h := db.Files().Put("parsec.img", blob)
+	h, _ := db.Files().Put("parsec.img", blob)
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}

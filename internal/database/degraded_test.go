@@ -1,0 +1,332 @@
+package database
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gem5art/internal/database/storage"
+	"gem5art/internal/faultinject"
+)
+
+// openChaos opens a journaled store whose durable writes flow through a
+// DiskChaos armed with the given rules.
+func openChaos(t *testing.T, dir string, rules ...faultinject.DiskRule) (*DB, *faultinject.DiskChaos) {
+	t.Helper()
+	dc := faultinject.NewDiskChaos(1, nil, rules...)
+	store, err := OpenWith(dir, Options{Journal: true, SyncOnCommit: true, FS: dc})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return store.(*DB), dc
+}
+
+// TestJournalFailureNeverAcknowledged is the ISSUE's core acceptance
+// criterion: an injected journal append/fsync failure must never be
+// acknowledged as a successful commit. The failing operation returns
+// *storage.DegradedError, the store flips read-only, and the document
+// is absent both in memory and after reopen.
+func TestJournalFailureNeverAcknowledged(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openChaos(t, dir, faultinject.DiskRule{
+		Kind: faultinject.DiskFsyncFail, PathContains: ".wal", After: 2, Count: 1,
+	})
+	c := db.Collection("runs")
+	if _, err := c.InsertOne(Doc{"_id": "r1", "n": 1.0}); err != nil {
+		t.Fatalf("first insert should commit: %v", err)
+	}
+	if _, err := c.InsertOne(Doc{"_id": "r2", "n": 2.0}); err != nil {
+		t.Fatalf("second insert should commit: %v", err)
+	}
+	// Third append hits the fsync fault: the commit must fail typed.
+	_, err := c.InsertOne(Doc{"_id": "r3", "n": 3.0})
+	var deg *storage.DegradedError
+	if !errors.As(err, &deg) {
+		t.Fatalf("faulted insert returned %v, want *storage.DegradedError", err)
+	}
+	if deg.Reason != "journal-sync" {
+		t.Fatalf("degraded reason = %q, want journal-sync", deg.Reason)
+	}
+	// The unacknowledged document is not applied in memory...
+	if c.FindOne(Doc{"_id": "r3"}) != nil {
+		t.Fatal("unacknowledged insert is visible in memory")
+	}
+	// ...the store is read-only (even though the fault was Count:1)...
+	if _, err := c.InsertOne(Doc{"_id": "r4"}); !errors.As(err, &deg) {
+		t.Fatalf("degraded store accepted a later insert: %v", err)
+	}
+	if err := db.Health(); !errors.As(err, &deg) {
+		t.Fatalf("Health() = %v, want degraded", err)
+	}
+	// ...but reads keep serving.
+	if c.FindOne(Doc{"_id": "r1"}) == nil {
+		t.Fatal("degraded store stopped serving reads")
+	}
+	db.Close()
+
+	// Reopen over the same directory with a healthy disk: exactly the
+	// acknowledged commits replay.
+	store2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer store2.Close()
+	c2 := store2.Collection("runs")
+	if n := c2.Count(nil); n != 2 {
+		t.Fatalf("reopened store has %d docs, want the 2 acknowledged", n)
+	}
+	if c2.FindOne(Doc{"_id": "r3"}) != nil {
+		t.Fatal("unacknowledged insert replayed after reopen")
+	}
+}
+
+// TestUpdateDeleteRefusedWhenDegraded: every mutating verb fails fast
+// once the store is degraded, and none of them mutates memory.
+func TestUpdateDeleteRefusedWhenDegraded(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openChaos(t, dir, faultinject.DiskRule{
+		Kind: faultinject.DiskEIO, Op: faultinject.OpWrite, PathContains: ".wal", After: 1,
+	})
+	c := db.Collection("runs")
+	if _, err := c.InsertOne(Doc{"_id": "r1", "state": "queued"}); err != nil {
+		t.Fatalf("seed insert: %v", err)
+	}
+	if ok, err := c.UpdateOne(Doc{"_id": "r1"}, Doc{"state": "running"}); ok || err == nil {
+		t.Fatalf("update under EIO: ok=%v err=%v, want failure", ok, err)
+	}
+	if d := c.FindOne(Doc{"_id": "r1"}); d["state"] != "queued" {
+		t.Fatalf("failed update mutated memory: state=%v", d["state"])
+	}
+	if n := c.DeleteMany(Doc{"_id": "r1"}); n != 0 {
+		t.Fatalf("degraded delete removed %d docs", n)
+	}
+	if c.FindOne(Doc{"_id": "r1"}) == nil {
+		t.Fatal("degraded delete mutated memory")
+	}
+}
+
+// TestFileStorePutFailFast: a blob whose write-through faults (short
+// write, then torn rename on retry paths) stores nothing anywhere and
+// returns the typed degraded error.
+func TestFileStorePutFailFast(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rule faultinject.DiskRule
+	}{
+		{"short-write", faultinject.DiskRule{Kind: faultinject.DiskShortWrite, PathContains: ".blob"}},
+		{"torn-rename", faultinject.DiskRule{Kind: faultinject.DiskTornRename, PathContains: ".blob"}},
+		{"enospc", faultinject.DiskRule{Kind: faultinject.DiskENOSPC, PathContains: ".blob"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			db, _ := openChaos(t, dir, tc.rule)
+			hash, err := db.Files().Put("vmlinux", []byte("kernel image bytes"))
+			var deg *storage.DegradedError
+			if !errors.As(err, &deg) || hash != "" {
+				t.Fatalf("faulted Put = (%q, %v), want (\"\", DegradedError)", hash, err)
+			}
+			want := HashBytes([]byte("kernel image bytes"))
+			if db.Files().Exists(want) {
+				t.Fatal("failed Put left the blob visible in memory")
+			}
+			if _, err := os.Stat(filepath.Join(dir, "files", want+".blob")); err == nil {
+				t.Fatal("failed Put left a final blob on disk")
+			}
+			db.Close()
+		})
+	}
+}
+
+// TestTmpSweepAtOpen: orphaned *.tmp files stranded by a crash
+// mid-rename are removed the next time the store opens, in all three
+// durable directories.
+func TestTmpSweepAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	store := MustOpen(dir)
+	if _, err := store.Collection("runs").InsertOne(Doc{"_id": "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{
+		filepath.Join(dir, "collections", "runs.jsonl.tmp"),
+		filepath.Join(dir, "journal", "stray.wal.tmp"),
+		filepath.Join(dir, "files", "deadbeef.blob.tmp"),
+	}
+	for _, p := range orphans {
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with orphans: %v", err)
+	}
+	defer store2.Close()
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the open-time sweep", p)
+		}
+	}
+	if store2.Collection("runs").FindOne(Doc{"_id": "r1"}) == nil {
+		t.Fatal("sweep removed real state")
+	}
+}
+
+// TestScrubQuarantinesAndRepairs: a blob corrupted on disk is detected
+// by the scrubber, quarantined (never served again), and restored from
+// a repair source that still holds a good copy.
+func TestScrubQuarantinesAndRepairs(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(dir).(*DB)
+	content := []byte("checkpoint payload to corrupt")
+	hash, err := db.Files().Put("cpt.1", content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A healthy standby holding the same content is the repair source.
+	standby := MustOpen(t.TempDir())
+	if _, err := standby.Files().Put("cpt.1", content); err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+
+	// Flip bits in the primary's on-disk blob.
+	blobPath := filepath.Join(dir, "files", hash+".blob")
+	if err := os.WriteFile(blobPath, []byte("BITROT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := db.Scrub(FileRepair(standby.Files()))
+	if rep.Corrupt != 1 || len(rep.Quarantined) != 1 || rep.Quarantined[0] != hash {
+		t.Fatalf("scrub report = %+v, want 1 corrupt/quarantined %s", rep, hash)
+	}
+	if len(rep.Repaired) != 1 || rep.Repaired[0] != hash {
+		t.Fatalf("scrub did not repair from source: %+v", rep)
+	}
+	// Quarantine dir holds the corrupt bytes for forensics.
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", hash+".blob")); err != nil {
+		t.Fatalf("quarantined blob missing: %v", err)
+	}
+	// The repaired blob serves the original content again.
+	got, err := db.Files().Get(hash)
+	if err != nil || string(got) != string(content) {
+		t.Fatalf("repaired Get = (%q, %v)", got, err)
+	}
+	if raw, err := os.ReadFile(blobPath); err != nil || string(raw) != string(content) {
+		t.Fatalf("repaired blob on disk = (%q, %v)", raw, err)
+	}
+	db.Close()
+}
+
+// TestScrubQuarantineWithoutSource: with no repair source the corrupt
+// blob is quarantined and simply gone from the store.
+func TestScrubQuarantineWithoutSource(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(dir).(*DB)
+	defer db.Close()
+	hash, err := db.Files().Put("img", []byte("disk image"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "files", hash+".blob"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := db.Scrub(nil)
+	if rep.Corrupt != 1 || len(rep.Repaired) != 0 {
+		t.Fatalf("scrub report = %+v", rep)
+	}
+	if db.Files().Exists(hash) {
+		t.Fatal("corrupt blob still served after quarantine")
+	}
+}
+
+// TestScrubDetectsTornJournal: bytes chopped off an acknowledged
+// journal extent are reported as a torn journal.
+func TestScrubDetectsTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(dir).(*DB)
+	c := db.Collection("runs")
+	for i := 0; i < 4; i++ {
+		if _, err := c.InsertOne(Doc{"n": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wal := filepath.Join(dir, "journal", "runs.wal")
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle of the journal (not just the tail).
+	mut := []byte(strings.Replace(string(data), "insert", "inzert", 2))
+	if err := os.WriteFile(wal, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := db.Scrub(nil)
+	if rep.TornJournals != 1 {
+		t.Fatalf("scrub saw %d torn journals, want 1 (report %+v)", rep.TornJournals, rep)
+	}
+	db.Close()
+}
+
+// TestCorruptBlobQuarantinedAtLoad: a store whose blob rotted while it
+// was closed still opens; the bad blob is quarantined, the rest load.
+func TestCorruptBlobQuarantinedAtLoad(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(dir)
+	badHash, err := db.Files().Put("bad", []byte("will rot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodHash, err := db.Files().Put("good", []byte("stays intact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "files", badHash+".blob"), []byte("rotted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with corrupt blob should quarantine, not fail: %v", err)
+	}
+	defer db2.Close()
+	if db2.Files().Exists(badHash) {
+		t.Fatal("corrupt blob served after reopen")
+	}
+	if got, err := db2.Files().Get(goodHash); err != nil || string(got) != "stays intact" {
+		t.Fatalf("good blob lost: (%q, %v)", got, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", badHash+".blob")); err != nil {
+		t.Fatalf("corrupt blob not quarantined: %v", err)
+	}
+}
+
+// TestSnapshotFaultDegradesCompaction: a snapshot write failing mid-
+// compaction degrades the store instead of acknowledging a Flush that
+// did not happen.
+func TestSnapshotFaultDegradesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := openChaos(t, dir, faultinject.DiskRule{
+		Kind: faultinject.DiskENOSPC, Op: faultinject.OpWrite, PathContains: ".jsonl.tmp",
+	})
+	c := db.Collection("runs")
+	if _, err := c.InsertOne(Doc{"_id": "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err == nil {
+		t.Fatal("Flush acknowledged success under ENOSPC")
+	}
+	var deg *storage.DegradedError
+	if err := db.Health(); !errors.As(err, &deg) {
+		t.Fatalf("Health after failed flush = %v, want degraded", err)
+	}
+}

@@ -21,16 +21,17 @@ const chunkSize = 255 * 1024
 // fileStore is the engine's content-addressed blob store. It implements
 // storage.FileStore. Blobs are held chunked in memory and — for
 // persistent stores — written through to <dir>/files/<hash>.blob as raw
-// bytes at Put time, so a crash never loses file content that Put has
-// returned for. Blobs written by older versions were base64-encoded;
-// load detects and decodes them transparently.
+// bytes at Put time. The write-through is fail-fast: a Put whose blob
+// cannot be persisted returns *storage.DegradedError and stores
+// nothing, so a hash returned by Put always names durable content.
+// Blobs written by older versions were base64-encoded; load detects
+// and decodes them transparently.
 type fileStore struct {
 	mu        sync.RWMutex
 	db        *DB
 	metas     map[string]*FileMeta // keyed by hash
 	data      map[string][][]byte  // hash -> chunks
 	persisted map[string]bool      // hashes already durable on disk
-	lastErr   error                // first write-through error, surfaced at Flush/Close
 }
 
 func newFileStore(db *DB) *fileStore {
@@ -51,16 +52,20 @@ func (fs *fileStore) dir() string {
 
 // Put stores the file under its content hash. Storing identical content
 // twice is a no-op (the paper: a file is uploaded "unless it already
-// exists there"). It returns the content hash. Write-through errors are
-// sticky and surfaced at the next Flush/Close — the content is always
-// retrievable in memory regardless.
-func (fs *fileStore) Put(name string, data []byte) string {
+// exists there"). It returns the content hash. For persistent stores
+// the blob is written through atomically before Put returns; a disk
+// failure degrades the store and fails the Put without storing
+// anything, in memory or on disk.
+func (fs *fileStore) Put(name string, data []byte) (string, error) {
 	defer observeOp("file_put", time.Now())
+	if err := fs.db.Degraded(); err != nil {
+		return "", err
+	}
 	hash := HashBytes(data)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if _, ok := fs.metas[hash]; ok {
-		return hash
+		return hash, nil
 	}
 	var chunks [][]byte
 	for off := 0; off < len(data); off += chunkSize {
@@ -73,18 +78,15 @@ func (fs *fileStore) Put(name string, data []byte) string {
 		chunks = append(chunks, chunk)
 	}
 	meta := &FileMeta{Name: name, Hash: hash, Length: len(data), Chunks: len(chunks)}
+	if dir := fs.dir(); dir != "" {
+		if err := writeBlob(fs.db.fs(), dir, meta, data); err != nil {
+			return "", fs.db.degrade("filestore", err)
+		}
+		fs.persisted[hash] = true
+	}
 	fs.metas[hash] = meta
 	fs.data[hash] = chunks
-	if dir := fs.dir(); dir != "" {
-		if err := writeBlob(dir, meta, data); err != nil {
-			if fs.lastErr == nil {
-				fs.lastErr = err
-			}
-		} else {
-			fs.persisted[hash] = true
-		}
-	}
-	return hash
+	return hash, nil
 }
 
 // Get reassembles and returns the file with the given content hash.
@@ -150,9 +152,8 @@ func (fs *fileStore) TotalBytes() int {
 	return n
 }
 
-// flushAll persists any blobs whose write-through failed or that were
-// stored while the database had no directory, and surfaces the first
-// sticky write error.
+// flushAll persists any blobs not yet durable (stored before the Put
+// write-through existed, or restored by a repair).
 func (fs *fileStore) flushAll() error {
 	dir := fs.dir()
 	if dir == "" {
@@ -160,8 +161,7 @@ func (fs *fileStore) flushAll() error {
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	err := fs.lastErr
-	fs.lastErr = nil
+	var err error
 	for hash, meta := range fs.metas {
 		if fs.persisted[hash] {
 			continue
@@ -170,7 +170,7 @@ func (fs *fileStore) flushAll() error {
 		for _, chunk := range fs.data[hash] {
 			data = append(data, chunk...)
 		}
-		if werr := writeBlob(dir, meta, data); werr != nil {
+		if werr := writeBlob(fs.db.fs(), dir, meta, data); werr != nil {
 			if err == nil {
 				err = werr
 			}
@@ -181,16 +181,38 @@ func (fs *fileStore) flushAll() error {
 	return err
 }
 
+// evict drops a blob from the in-memory maps — the quarantine path:
+// a corrupt blob must never be served again from memory or disk.
+func (fs *fileStore) evict(hash string) {
+	fs.mu.Lock()
+	delete(fs.metas, hash)
+	delete(fs.data, hash)
+	delete(fs.persisted, hash)
+	fs.mu.Unlock()
+}
+
+// hashes returns every stored content hash, for the scrubber's walk.
+func (fs *fileStore) hashes() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.metas))
+	for h := range fs.metas {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // writeBlob writes a blob (raw bytes, atomically via tmp+rename) and
 // then its metadata. The blob lands first so a *.meta file always
 // refers to complete content.
-func writeBlob(dir string, meta *FileMeta, data []byte) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func writeBlob(fsys storage.FS, dir string, meta *FileMeta, data []byte) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	final := filepath.Join(dir, meta.Hash+".blob")
 	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -205,14 +227,14 @@ func writeBlob(dir string, meta *FileMeta, data []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := fsys.Rename(tmp, final); err != nil {
 		return err
 	}
 	mj, err := json.Marshal(meta)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, meta.Hash+".meta"), mj, 0o644)
+	return fsys.WriteFile(filepath.Join(dir, meta.Hash+".meta"), mj, 0o644)
 }
 
 // load restores blobs from dir. Current-format blobs are raw bytes;
@@ -220,7 +242,8 @@ func writeBlob(dir string, meta *FileMeta, data []byte) error {
 // apart by hashing: content is stored under its own MD5, so the raw
 // bytes match meta.Hash iff the blob is current-format.
 func (fs *fileStore) load(dir string) error {
-	entries, err := os.ReadDir(dir)
+	fsys := fs.db.fs()
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -231,7 +254,7 @@ func (fs *fileStore) load(dir string) error {
 		if !strings.HasSuffix(e.Name(), ".meta") {
 			continue
 		}
-		mj, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		mj, err := fsys.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return err
 		}
@@ -239,7 +262,7 @@ func (fs *fileStore) load(dir string) error {
 		if err := json.Unmarshal(mj, &meta); err != nil {
 			return err
 		}
-		raw, err := os.ReadFile(filepath.Join(dir, meta.Hash+".blob"))
+		raw, err := fsys.ReadFile(filepath.Join(dir, meta.Hash+".blob"))
 		if err != nil {
 			return err
 		}
@@ -247,7 +270,12 @@ func (fs *fileStore) load(dir string) error {
 		if storage.HashBytes(raw) != meta.Hash {
 			dec, derr := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
 			if derr != nil || storage.HashBytes(dec) != meta.Hash {
-				return fmt.Errorf("database: blob %s does not match its hash", meta.Hash)
+				// Corrupt content (torn write, bit rot). Quarantine it
+				// rather than refusing to open the store: the blob is
+				// never served, and Scrub can later repair it from a
+				// replica.
+				fs.db.quarantineBlob(meta.Hash)
+				continue
 			}
 			data = dec
 		}

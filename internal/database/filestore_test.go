@@ -57,7 +57,7 @@ func TestFileStoreWritesRawBlobs(t *testing.T) {
 	dir := t.TempDir()
 	db := MustOpen(dir)
 	content := []byte{0x7f, 'E', 'L', 'F', 0, 1, 2, 3} // binary, not base64-safe
-	hash := db.Files().Put("kernel", content)
+	hash, _ := db.Files().Put("kernel", content)
 	raw, err := os.ReadFile(filepath.Join(dir, "files", hash+".blob"))
 	if err != nil {
 		t.Fatalf("blob not written through at Put: %v", err)

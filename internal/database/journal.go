@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"gem5art/internal/database/storage"
 )
 
 // The append-only journal is the engine's default durability path:
@@ -29,6 +31,12 @@ import (
 // therefore deterministic and idempotent — an insert re-applied after
 // a crash between compaction's snapshot rename and journal truncation
 // simply overwrites the same document.
+//
+// Commits are fail-fast: the journal record is appended and fsynced
+// BEFORE the in-memory mutation is applied. A write or sync error
+// fails the committing operation with *storage.DegradedError and flips
+// the whole store read-only — a mutation is never acknowledged unless
+// its record reached the journal under the configured durability.
 
 // Journal operation kinds.
 const (
@@ -50,13 +58,19 @@ type journalRecord struct {
 // file. It is guarded by the owning collection's mutex, which also
 // makes journal order identical to apply order.
 type journalWriter struct {
-	f    *os.File
+	f    storage.File
 	path string
 	sync bool
 	recs int    // records appended since the last reset/replay
 	size int64  // current file size in bytes
 	gen  uint64 // bumped on every reset; replication readers carry it
-	err  error  // first write/sync error, surfaced at Flush/Close
+
+	// snapGen is the generation whose snapshot this process wrote and
+	// fsynced itself (set by compaction, which always bumps gen first —
+	// so 0 means "no snapshot written this process"). The incremental
+	// scrubber trusts a just-written snapshot instead of re-reading it;
+	// the periodic full pass re-verifies regardless.
+	snapGen uint64
 }
 
 // journalPath returns the wal path for a collection name.
@@ -67,11 +81,11 @@ func journalPath(dir, name string) string {
 // openJournalWriter opens (creating if needed) the journal for
 // appending, positioned after goodBytes — the replay-validated prefix.
 // Anything past it is a torn tail and is cut off.
-func openJournalWriter(path string, goodBytes int64, recs int, syncOnCommit bool) (*journalWriter, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+func openJournalWriter(fs storage.FS, path string, goodBytes int64, recs int, syncOnCommit bool) (*journalWriter, error) {
+	if err := fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -86,36 +100,44 @@ func openJournalWriter(path string, goodBytes int64, recs int, syncOnCommit bool
 	return &journalWriter{f: f, path: path, sync: syncOnCommit, recs: recs, size: goodBytes}, nil
 }
 
-// append frames, writes, and (optionally) fsyncs one record. Errors
-// are sticky: the in-memory state is already updated, so the failure
-// is reported at the next Flush/Close rather than unwinding the
-// operation.
-func (w *journalWriter) append(rec journalRecord) {
+// append frames, writes, and (optionally) fsyncs one record. On
+// failure it reports which durability step broke ("journal-append" or
+// "journal-sync") and best-effort truncates the file back to the last
+// good record, so an unacknowledged record or short-write tail does
+// not replay after a reopen.
+func (w *journalWriter) append(rec journalRecord) (reason string, err error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		if w.err == nil {
-			w.err = fmt.Errorf("database: journal %s: marshal: %w", w.path, err)
-		}
-		return
+		return "journal-append", fmt.Errorf("database: journal %s: marshal: %w", w.path, err)
 	}
 	line := make([]byte, 0, len(payload)+12)
 	line = append(line, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
 	line = append(line, payload...)
 	line = append(line, '\n')
 	if _, err := w.f.Write(line); err != nil {
-		if w.err == nil {
-			w.err = fmt.Errorf("database: journal %s: %w", w.path, err)
-		}
-		return
+		w.rewind()
+		return "journal-append", fmt.Errorf("database: journal %s: %w", w.path, err)
 	}
 	if w.sync {
-		if err := w.f.Sync(); err != nil && w.err == nil {
-			w.err = fmt.Errorf("database: journal %s: sync: %w", w.path, err)
+		if err := w.f.Sync(); err != nil {
+			w.rewind()
+			return "journal-sync", fmt.Errorf("database: journal %s: sync: %w", w.path, err)
 		}
 	}
 	w.recs++
 	w.size += int64(len(line))
 	dbJournalRecords.With(rec.Op).Inc()
+	return "", nil
+}
+
+// rewind best-effort truncates the journal back to the last
+// acknowledged record after a failed append, so the unacknowledged
+// bytes cannot replay after a reopen. If the truncate itself fails the
+// store is degraded anyway and startup replay's CRC framing is the
+// backstop.
+func (w *journalWriter) rewind() {
+	_ = w.f.Truncate(w.size)
+	_, _ = w.f.Seek(w.size, 0)
 }
 
 // reset truncates the journal after a compaction folded its records
@@ -139,12 +161,9 @@ func (w *journalWriter) reset() error {
 	return nil
 }
 
-// close syncs and closes the journal, returning any sticky error.
+// close syncs and closes the journal.
 func (w *journalWriter) close() error {
-	err := w.err
-	if serr := w.f.Sync(); serr != nil && err == nil {
-		err = serr
-	}
+	err := w.f.Sync()
 	if cerr := w.f.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
@@ -155,8 +174,8 @@ func (w *journalWriter) close() error {
 // record and the byte length of the valid prefix. A missing file is an
 // empty journal. Parsing stops — without error — at the first torn or
 // corrupt line, implementing crash recovery by prefix truncation.
-func replayJournal(path string) (recs []journalRecord, goodBytes int64, err error) {
-	data, err := os.ReadFile(path)
+func replayJournal(fs storage.FS, path string) (recs []journalRecord, goodBytes int64, err error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, 0, nil
@@ -200,18 +219,26 @@ func decodeJournalLine(line []byte) (journalRecord, bool) {
 	return rec, true
 }
 
-// logRecord journals one committed mutation and schedules compaction
-// when the journal has outgrown its usefulness. Caller holds c.mu.
-func (c *collection) logRecord(rec journalRecord) {
+// logRecord journals one mutation BEFORE the caller applies it to
+// memory, and schedules compaction when the journal has outgrown its
+// usefulness. A journal failure degrades the store and is returned as
+// *storage.DegradedError: the caller must not apply the mutation.
+// Caller holds c.mu.
+func (c *collection) logRecord(rec journalRecord) error {
 	if c.journal == nil {
-		c.ensureJournal() // first mutation of a collection created after open
+		if err := c.ensureJournal(); err != nil {
+			return c.db.degrade("journal-open", err)
+		}
 		if c.journal == nil {
-			return
+			return nil // in-memory or snapshot-mode store
 		}
 	}
-	c.journal.append(rec)
+	if reason, err := c.journal.append(rec); err != nil {
+		return c.db.degrade(reason, err)
+	}
 	dbJournalBytes.With(c.name).Set(float64(c.journal.size))
 	c.maybeCompactLocked()
+	return nil
 }
 
 // maybeCompactLocked starts a background compaction when the journal
@@ -237,7 +264,10 @@ func (c *collection) maybeCompactLocked() {
 // compact folds the journal into a fresh snapshot: write the snapshot
 // atomically (tmp + rename), then truncate the journal. A crash
 // between the two re-applies the journal onto the new snapshot at the
-// next open — harmless, because replay is idempotent.
+// next open — harmless, because replay is idempotent. A disk failure
+// in either step degrades the store: the journal still holds the
+// records the snapshot may be missing, so reads stay correct, but no
+// further mutations are accepted.
 func (c *collection) compact() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -246,17 +276,14 @@ func (c *collection) compact() {
 		return
 	}
 	if err := c.writeSnapshotLocked(); err != nil {
-		if c.journal.err == nil {
-			c.journal.err = err
-		}
+		c.db.degrade("compaction", err)
 		return
 	}
 	if err := c.journal.reset(); err != nil {
-		if c.journal.err == nil {
-			c.journal.err = err
-		}
+		c.db.degrade("compaction", err)
 		return
 	}
+	c.journal.snapGen = c.journal.gen
 	dbJournalBytes.With(c.name).Set(0)
 	dbCompactions.With(c.name).Inc()
 }

@@ -42,6 +42,31 @@ var (
 		"queries answered by scanning the collection")
 )
 
+// Disk-fault containment: degraded-mode state and the integrity
+// scrubber's findings, so an operator sees a store that went read-only
+// — or is quietly quarantining bit rot — on /metrics before a tenant
+// notices a 503.
+var (
+	dbDegraded = telemetry.Default.Gauge("gem5art_db_degraded",
+		"1 when the store is in read-only degraded mode after a durability failure")
+	dbDegradedTotal = telemetry.Default.CounterVec("gem5art_db_degraded_total",
+		"durability failures that flipped a store read-only, by failing path", "reason")
+	dbTmpSwept = telemetry.Default.Counter("gem5art_db_tmp_swept_total",
+		"orphaned .tmp files removed at startup (crash mid-compaction or mid-rename)")
+	scrubRuns = telemetry.Default.Counter("gem5art_scrub_runs_total",
+		"integrity scrub passes completed")
+	scrubScanned = telemetry.Default.Counter("gem5art_scrub_blobs_scanned_total",
+		"blobs re-read and hash-verified by the scrubber")
+	scrubCorrupt = telemetry.Default.CounterVec("gem5art_scrub_corrupt_total",
+		"corrupt items found by the scrubber, by kind", "kind")
+	scrubQuarantined = telemetry.Default.Counter("gem5art_scrub_quarantined_total",
+		"corrupt blobs moved to the quarantine directory")
+	scrubRepaired = telemetry.Default.Counter("gem5art_scrub_repaired_total",
+		"quarantined blobs restored from a repair source")
+	scrubLastUnix = telemetry.Default.Gauge("gem5art_scrub_last_run_unix",
+		"unix time of the last completed scrub pass")
+)
+
 // countIndexLookup records one index-served query.
 func countIndexLookup(hit bool) {
 	if hit {

@@ -17,19 +17,27 @@ import (
 //	<dir>/journal/<name>.wal        — append-only journal since the snapshot
 //	<dir>/files/<hash>.blob         — raw file content
 //	<dir>/files/<hash>.meta         — JSON FileMeta
+//	<dir>/quarantine/               — corrupt blobs moved aside by Scrub
 //
 // The formats are line-oriented and human-inspectable, in the spirit
 // of gem5art's "freely available tools may be used to process this
 // data". Blobs written by older versions were base64-encoded; they are
 // still read transparently (see fileStore.load).
+//
+// Every write path goes through db.fs() so chaos tests can inject
+// disk faults deterministically (faultinject.DiskChaos).
 
 // Flush compacts every collection — snapshot written atomically, then
 // the journal truncated — and persists any unwritten file blobs. With
 // the journal enabled Flush is never required for durability; it is
-// the explicit "fold history into snapshots now" operation.
+// the explicit "fold history into snapshots now" operation. A degraded
+// store refuses to flush: the journal is the only trustworthy record.
 func (db *DB) Flush() error {
 	if db.dir == "" {
 		return nil
+	}
+	if err := db.Degraded(); err != nil {
+		return err
 	}
 	for _, c := range db.snapshot() {
 		c.mu.Lock()
@@ -45,22 +53,22 @@ func (db *DB) Flush() error {
 // flushLocked snapshots the collection and truncates/removes its
 // journal. Caller holds c.mu.
 func (c *collection) flushLocked() error {
-	if c.journal != nil && c.journal.err != nil {
-		return c.journal.err
-	}
+	// A failed snapshot or journal reset is a durability failure like any
+	// other: degrade rather than let the caller believe the fold happened.
 	if err := c.writeSnapshotLocked(); err != nil {
-		return err
+		return c.db.degrade("snapshot", err)
 	}
 	if c.journal != nil {
 		if err := c.journal.reset(); err != nil {
-			return err
+			return c.db.degrade("compaction", err)
 		}
+		c.journal.snapGen = c.journal.gen
 		dbJournalBytes.With(c.name).Set(0)
 		return nil
 	}
 	// Snapshot-mode store: a wal left behind by a journaled session is
 	// now folded into the snapshot and must not replay again.
-	if err := os.Remove(journalPath(c.db.dir, c.name)); err != nil && !os.IsNotExist(err) {
+	if err := c.db.fs().Remove(journalPath(c.db.dir, c.name)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	return nil
@@ -70,8 +78,9 @@ func (c *collection) flushLocked() error {
 // marshal to a temp file, fsync, rename over the final name. Caller
 // holds c.mu.
 func (c *collection) writeSnapshotLocked() error {
+	fs := c.db.fs()
 	dir := filepath.Join(c.db.dir, "collections")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	var buf bytes.Buffer
@@ -85,7 +94,7 @@ func (c *collection) writeSnapshotLocked() error {
 	}
 	final := filepath.Join(dir, c.name+".jsonl")
 	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -100,15 +109,16 @@ func (c *collection) writeSnapshotLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, final)
+	return fs.Rename(tmp, final)
 }
 
-// load restores the database: snapshots first, then journal replay on
-// top, then the file store.
+// load restores the database: orphaned tmp files are swept, then
+// snapshots, then journal replay on top, then the file store.
 func (db *DB) load() error {
+	db.sweepTmpFiles()
 	names := make(map[string]bool)
 	colDir := filepath.Join(db.dir, "collections")
-	if entries, err := os.ReadDir(colDir); err == nil {
+	if entries, err := db.fs().ReadDir(colDir); err == nil {
 		for _, e := range entries {
 			if !e.IsDir() && strings.HasSuffix(e.Name(), ".jsonl") {
 				names[strings.TrimSuffix(e.Name(), ".jsonl")] = true
@@ -119,7 +129,7 @@ func (db *DB) load() error {
 	}
 	// A collection may exist only in the journal (created after the
 	// last compaction — or never compacted at all).
-	if entries, err := os.ReadDir(filepath.Join(db.dir, "journal")); err == nil {
+	if entries, err := db.fs().ReadDir(filepath.Join(db.dir, "journal")); err == nil {
 		for _, e := range entries {
 			if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
 				names[strings.TrimSuffix(e.Name(), ".wal")] = true
@@ -136,6 +146,30 @@ func (db *DB) load() error {
 	return db.files.load(filepath.Join(db.dir, "files"))
 }
 
+// sweepTmpFiles removes orphaned *.tmp files a crash mid-compaction or
+// mid-rename stranded in the snapshot, journal, and blob directories.
+// Both atomic-rename sites (writeSnapshotLocked, writeBlob) publish
+// via "<final>.tmp" → rename, so any surviving .tmp is by construction
+// incomplete and must not shadow real state or leak disk forever.
+func (db *DB) sweepTmpFiles() {
+	fs := db.fs()
+	for _, sub := range []string{"collections", "journal", "files"} {
+		dir := filepath.Join(db.dir, sub)
+		entries, err := fs.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".tmp") {
+				continue
+			}
+			if err := fs.Remove(filepath.Join(dir, e.Name())); err == nil {
+				dbTmpSwept.Inc()
+			}
+		}
+	}
+}
+
 // loadCollection restores one collection: snapshot lines, then journal
 // records, then index rebuild, then (in journal mode) the writer is
 // attached positioned after the journal's valid prefix.
@@ -144,7 +178,7 @@ func (db *DB) loadCollection(name, snapshotPath string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	if f, err := os.Open(snapshotPath); err == nil {
+	if f, err := db.fs().OpenFile(snapshotPath, os.O_RDONLY, 0); err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
 		for sc.Scan() {
@@ -176,7 +210,7 @@ func (db *DB) loadCollection(name, snapshotPath string) error {
 
 	walPath := journalPath(db.dir, name)
 	start := time.Now()
-	recs, goodBytes, err := replayJournal(walPath)
+	recs, goodBytes, err := replayJournal(db.fs(), walPath)
 	if err != nil {
 		return fmt.Errorf("database: replay %s: %w", name, err)
 	}
@@ -193,7 +227,7 @@ func (db *DB) loadCollection(name, snapshotPath string) error {
 	}
 
 	if db.opts.Journal {
-		w, err := openJournalWriter(walPath, goodBytes, len(recs), db.opts.SyncOnCommit)
+		w, err := openJournalWriter(db.fs(), walPath, goodBytes, len(recs), db.opts.SyncOnCommit)
 		if err != nil {
 			return fmt.Errorf("database: journal %s: %w", name, err)
 		}
@@ -204,15 +238,18 @@ func (db *DB) loadCollection(name, snapshotPath string) error {
 }
 
 // ensureJournal lazily attaches a journal writer to a collection that
-// was created after open (no on-disk state yet). Caller holds c.mu.
-func (c *collection) ensureJournal() {
+// was created after open (no on-disk state yet). A failure to open the
+// journal is a durability failure: the caller degrades the store
+// rather than silently running the collection unjournaled. Caller
+// holds c.mu.
+func (c *collection) ensureJournal() error {
 	if c.journal != nil || c.db.dir == "" || !c.db.opts.Journal {
-		return
+		return nil
 	}
-	w, err := openJournalWriter(journalPath(c.db.dir, c.name), 0, 0, c.db.opts.SyncOnCommit)
+	w, err := openJournalWriter(c.db.fs(), journalPath(c.db.dir, c.name), 0, 0, c.db.opts.SyncOnCommit)
 	if err != nil {
-		// Surfaced at the next Flush/Close via a placeholder writer.
-		w = &journalWriter{err: fmt.Errorf("database: journal %s: %w", c.name, err)}
+		return fmt.Errorf("database: journal %s: %w", c.name, err)
 	}
 	c.journal = w
+	return nil
 }

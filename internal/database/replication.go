@@ -73,7 +73,7 @@ func (db *DB) JournalSegment(collection string, gen uint64, from int64, max int)
 	if from == size {
 		return nil, from, nil
 	}
-	f, err := os.Open(journalPath(db.dir, collection))
+	f, err := db.fs().OpenFile(journalPath(db.dir, collection), os.O_RDONLY, 0)
 	if err != nil {
 		return nil, from, fmt.Errorf("database: journal segment %s: %w", collection, err)
 	}
@@ -111,6 +111,9 @@ func (db *DB) JournalSize(collection string) int64 {
 // next shipment must resume — truncate-and-resync, the same recovery
 // startup replay uses for a crash mid-append.
 func (db *DB) ApplyJournalSegment(collection string, data []byte) (applied int, consumed int64, err error) {
+	if err := db.Degraded(); err != nil {
+		return 0, 0, err
+	}
 	c := db.collection(collection)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -123,8 +126,13 @@ func (db *DB) ApplyJournalSegment(collection string, data []byte) (applied int, 
 		if !ok {
 			break // corrupt or half-written record
 		}
+		// Journal locally before applying: a replica that cannot persist
+		// a record must not apply it either, or a post-crash recovery
+		// would diverge from what it acknowledged.
+		if lerr := c.logRecord(rec); lerr != nil {
+			return applied, consumed, lerr
+		}
 		c.applyRecordLocked(rec)
-		c.logRecord(rec)
 		applied++
 		consumed += int64(nl + 1)
 		data = data[nl+1:]
@@ -185,7 +193,9 @@ func (db *DB) RestoreCollection(collection string, docs []Doc) error {
 		return fmt.Errorf("database: restore %s: %w", collection, err)
 	}
 	if c.journal == nil {
-		c.ensureJournal()
+		if err := c.ensureJournal(); err != nil {
+			return c.db.degrade("journal-open", err)
+		}
 	}
 	if c.journal != nil {
 		if err := c.journal.reset(); err != nil {
@@ -197,26 +207,20 @@ func (db *DB) RestoreCollection(collection string, docs []Doc) error {
 }
 
 // Health reports whether the store can accept reads and writes: nil
-// while open and error-free, an error once Close ran or any
-// collection's journal recorded a sticky write/sync failure. The status
-// daemon's /healthz turns this into a 503 with the reason attached.
+// while open and healthy, an error once Close ran or a durability
+// failure flipped the store into read-only degraded mode
+// (*storage.DegradedError, carrying the failing path and the disk
+// error). The status daemon's /healthz turns this into a 503 with the
+// reason attached.
 func (db *DB) Health() error {
 	db.mu.RLock()
-	closed := db.closed
+	closed, degraded := db.closed, db.degraded
 	db.mu.RUnlock()
 	if closed {
 		return errors.New("database: store is closed")
 	}
-	for _, c := range db.snapshot() {
-		c.mu.RLock()
-		err := error(nil)
-		if c.journal != nil {
-			err = c.journal.err
-		}
-		c.mu.RUnlock()
-		if err != nil {
-			return err
-		}
+	if degraded != nil {
+		return degraded
 	}
 	return nil
 }

@@ -1,0 +1,22 @@
+package storage
+
+import "fmt"
+
+// DegradedError reports that a store has entered read-only degraded
+// mode: a durability operation (journal append, journal fsync,
+// compaction, snapshot, or blob write-through) failed, so the engine
+// refuses further mutations rather than acknowledge writes it cannot
+// make durable. Reads keep working from memory. The error is returned
+// by the mutation that triggered degradation and by every mutation
+// after it, and surfaces through Store health checks until an operator
+// repairs the disk and reopens the store.
+type DegradedError struct {
+	Reason string // which durability path failed: "journal-append", "journal-sync", "compaction", "snapshot", "filestore", "journal-open"
+	Err    error  // the underlying disk error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("storage: degraded (read-only): %s: %v", e.Reason, e.Err)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Err }

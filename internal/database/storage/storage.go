@@ -85,8 +85,10 @@ type Collection interface {
 // MongoDB GridFS.
 type FileStore interface {
 	// Put stores the file under its content hash and returns the hash.
-	// Storing identical content twice is a no-op.
-	Put(name string, data []byte) string
+	// Storing identical content twice is a no-op. A durable engine that
+	// cannot persist the blob fails the Put (typically with
+	// *DegradedError) instead of acknowledging content it may lose.
+	Put(name string, data []byte) (string, error)
 	// Get reassembles and returns the file with the given content hash.
 	Get(hash string) ([]byte, error)
 	// Exists reports whether content with the given hash is stored.

@@ -44,19 +44,43 @@ func ArtifactsDir() string { return os.Getenv(ArtifactsEnv) }
 // Report is the deterministic-repro record a failing chaos test leaves
 // behind.
 type Report struct {
-	Test     string         `json:"test"`
-	Seed     int64          `json:"seed"`
-	Time     time.Time      `json:"time"`
-	Repro    string         `json:"repro"`
-	Events   []NetEvent     `json:"net_events,omitempty"`
-	Snapshot map[string]any `json:"snapshot,omitempty"`
+	Test       string         `json:"test"`
+	Seed       int64          `json:"seed"`
+	Time       time.Time      `json:"time"`
+	Repro      string         `json:"repro"`
+	Events     []NetEvent     `json:"net_events,omitempty"`
+	DiskEvents []DiskEvent    `json:"disk_events,omitempty"`
+	Snapshot   map[string]any `json:"snapshot,omitempty"`
+}
+
+// ReportSource contributes fired-fault events to a failure report.
+// *NetChaos and *DiskChaos both implement it.
+type ReportSource interface{ reportInto(*Report) }
+
+func (c *NetChaos) reportInto(rep *Report) {
+	rep.Events = append(rep.Events, c.Events()...)
+}
+
+func (d *DiskChaos) reportInto(rep *Report) {
+	rep.DiskEvents = append(rep.DiskEvents, d.Events()...)
+}
+
+// Sources adapts a homogeneous slice of chaos injectors to the
+// ReportSource values WriteReport's variadic parameter takes.
+func Sources[T ReportSource](xs []T) []ReportSource {
+	out := make([]ReportSource, len(xs))
+	for i, x := range xs {
+		out[i] = x
+	}
+	return out
 }
 
 // WriteReport writes a failure report under the artifacts dir (or the
 // system temp dir if none is configured, so a local failure still
 // leaves a transcript) and returns its path. chaoses may be nil or
-// contain nils; their fired events are concatenated in order.
-func WriteReport(test string, seed int64, snapshot map[string]any, chaoses ...*NetChaos) (string, error) {
+// contain nils; their fired net and disk events are concatenated in
+// order.
+func WriteReport(test string, seed int64, snapshot map[string]any, chaoses ...ReportSource) (string, error) {
 	dir := ArtifactsDir()
 	if dir == "" {
 		dir = os.TempDir()
@@ -71,9 +95,19 @@ func WriteReport(test string, seed int64, snapshot map[string]any, chaoses ...*N
 		Repro:    fmt.Sprintf("%s=%d go test -race -run '^%s$' ./...", SeedEnv, seed, test),
 		Snapshot: snapshot,
 	}
-	for _, nc := range chaoses {
-		if nc != nil {
-			rep.Events = append(rep.Events, nc.Events()...)
+	for _, src := range chaoses {
+		switch s := src.(type) {
+		case *NetChaos:
+			if s != nil {
+				s.reportInto(&rep)
+			}
+		case *DiskChaos:
+			if s != nil {
+				s.reportInto(&rep)
+			}
+		case nil:
+		default:
+			src.reportInto(&rep)
 		}
 	}
 	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.json", test, seed))

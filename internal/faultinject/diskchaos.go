@@ -1,0 +1,306 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+
+	"gem5art/internal/database/storage"
+)
+
+// DiskChaos is the disk-level counterpart of NetChaos: a seeded,
+// deterministic storage.FS wrapper the database engine's durable paths
+// run through in chaos tests. Armed DiskRules count matching
+// operations (writes, fsyncs, renames, reads) — optionally scoped to
+// paths containing a substring, so a rule can target one collection's
+// journal or only blob files — and fire on exact ordinals, so a given
+// seed and rule set produces the same disk faults every run. The fault
+// classes mirror what real disks and filesystems throw:
+//
+//   - DiskEIO: a read or write fails with EIO (media error);
+//   - DiskENOSPC: a write fails with ENOSPC (disk full);
+//   - DiskShortWrite: part of the buffer lands, then the write errors
+//     (partial page flush before the failure);
+//   - DiskFsyncFail: the write lands in the page cache but Sync fails
+//     (the classic lost-durability window);
+//   - DiskTornRename: the rename fails, stranding the tmp file
+//     (crash between prepare and publish);
+//   - DiskTornWrite: a crash-point truncation — only a prefix of the
+//     buffer is persisted yet the write reports full success, exactly
+//     what power loss mid-append leaves behind. Detection is the
+//     reader's job (journal CRC framing, blob hash verification).
+//
+// Every fired fault is recorded; Events feeds the chaos repro reports
+// (WriteReport) so a disk-fault failure is reproducible from the
+// artifact alone.
+type DiskChaos struct {
+	base  storage.FS
+	seed  int64
+	rules []DiskRule
+
+	mu     sync.Mutex
+	counts map[int]int // rule index -> matching-op count
+	fired  map[int]int // rule index -> firings
+	rngs   map[int]*rand.Rand
+	events []DiskEvent
+}
+
+// DiskKind enumerates the injectable disk fault modes.
+type DiskKind string
+
+// Disk fault kinds.
+const (
+	DiskEIO        DiskKind = "eio"         // read/write fails with EIO
+	DiskENOSPC     DiskKind = "enospc"      // write fails with ENOSPC
+	DiskShortWrite DiskKind = "short-write" // half the buffer lands, then the write errors
+	DiskFsyncFail  DiskKind = "fsync-fail"  // Sync returns EIO; the data may not be durable
+	DiskTornRename DiskKind = "torn-rename" // rename fails, tmp file stranded
+	DiskTornWrite  DiskKind = "torn-write"  // prefix persisted, success reported (crash-point truncation)
+)
+
+// Operation names a rule's Op field may select. The default (empty Op)
+// is the kind's natural operation: write faults arm on "write", fsync
+// faults on "sync", rename faults on "rename", EIO also matches
+// "read" when Op says so.
+const (
+	OpWrite  = "write"
+	OpSync   = "sync"
+	OpRename = "rename"
+	OpRead   = "read"
+)
+
+// DiskRule arms one fault. Matching operations are counted globally
+// (per rule) in operation order; because the engine serializes journal
+// appends under the collection mutex, ordinals are deterministic for a
+// single-collection target.
+type DiskRule struct {
+	Kind         DiskKind
+	Op           string  // operation to arm on; "" = the kind's default op
+	PathContains string  // only ops whose path contains this substring ("" = all)
+	After        int     // skip the first After matching ops
+	Every        int     // then fire on every Every-th op; 0 fires once, at op After+1
+	Count        int     // max firings (0 = once for Every==0, unlimited otherwise)
+	P            float64 // optional per-op probability from the rule's seeded RNG
+}
+
+// DiskEvent records one fired disk fault, for test assertions and the
+// chaos repro report.
+type DiskEvent struct {
+	Op   string   `json:"op"`
+	Path string   `json:"path"`
+	Kind DiskKind `json:"kind"`
+	N    int      `json:"n"` // which matching op fired (1-based, per rule)
+}
+
+// NewDiskChaos builds a chaos filesystem over base (nil = the real
+// filesystem). The seed drives probabilistic rules; counter-based
+// rules are deterministic regardless of seed.
+func NewDiskChaos(seed int64, base storage.FS, rules ...DiskRule) *DiskChaos {
+	if base == nil {
+		base = storage.OSFS
+	}
+	return &DiskChaos{
+		base:   base,
+		seed:   seed,
+		rules:  rules,
+		counts: make(map[int]int),
+		fired:  make(map[int]int),
+		rngs:   make(map[int]*rand.Rand),
+	}
+}
+
+// Arm appends rules to a live chaos filesystem — chaos tests arm disk
+// faults mid-launch, after the store has booted cleanly.
+func (d *DiskChaos) Arm(rules ...DiskRule) {
+	d.mu.Lock()
+	d.rules = append(d.rules, rules...)
+	d.mu.Unlock()
+}
+
+// Events returns the disk faults fired so far, in firing order.
+func (d *DiskChaos) Events() []DiskEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]DiskEvent(nil), d.events...)
+}
+
+// Fired reports how many faults of the given kind have fired.
+func (d *DiskChaos) Fired(kind DiskKind) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, ev := range d.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// defaultOp returns the operation a kind arms on when the rule does
+// not name one.
+func defaultOp(kind DiskKind) string {
+	switch kind {
+	case DiskFsyncFail:
+		return OpSync
+	case DiskTornRename:
+		return OpRename
+	default:
+		return OpWrite
+	}
+}
+
+// match consults the armed rules for operation op on path and returns
+// the rule kind to apply, or "" for a clean pass-through. At most one
+// rule fires per operation.
+func (d *DiskChaos) match(op, path string) DiskKind {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.rules {
+		r := &d.rules[i]
+		ruleOp := r.Op
+		if ruleOp == "" {
+			ruleOp = defaultOp(r.Kind)
+		}
+		if ruleOp != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		d.counts[i]++
+		n := d.counts[i]
+		if n <= r.After {
+			continue
+		}
+		if r.Every > 0 {
+			if (n-r.After)%r.Every != 0 {
+				continue
+			}
+		} else if n != r.After+1 {
+			continue
+		}
+		limit := r.Count
+		if limit == 0 && r.Every == 0 {
+			limit = 1
+		}
+		if limit > 0 && d.fired[i] >= limit {
+			continue
+		}
+		if r.P > 0 {
+			rng := d.rngs[i]
+			if rng == nil {
+				rng = rand.New(rand.NewSource(d.seed ^ (int64(i)+1)*0x5851f42d4c957f2d))
+				d.rngs[i] = rng
+			}
+			if rng.Float64() >= r.P {
+				continue
+			}
+		}
+		d.fired[i]++
+		d.events = append(d.events, DiskEvent{Op: op, Path: path, Kind: r.Kind, N: n})
+		return r.Kind
+	}
+	return ""
+}
+
+func diskErr(kind DiskKind, op, path string) error {
+	errno := syscall.EIO
+	if kind == DiskENOSPC {
+		errno = syscall.ENOSPC
+	}
+	return fmt.Errorf("faultinject: diskchaos: %s %s: %w", op, path, errno)
+}
+
+// --- storage.FS implementation ---
+
+func (d *DiskChaos) MkdirAll(path string, perm os.FileMode) error {
+	return d.base.MkdirAll(path, perm)
+}
+
+func (d *DiskChaos) OpenFile(name string, flag int, perm os.FileMode) (storage.File, error) {
+	f, err := d.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{File: f, chaos: d, path: name}, nil
+}
+
+func (d *DiskChaos) Rename(oldpath, newpath string) error {
+	if kind := d.match(OpRename, newpath); kind == DiskTornRename {
+		return diskErr(kind, OpRename, newpath)
+	}
+	return d.base.Rename(oldpath, newpath)
+}
+
+func (d *DiskChaos) Remove(name string) error { return d.base.Remove(name) }
+
+func (d *DiskChaos) ReadFile(name string) ([]byte, error) {
+	if kind := d.match(OpRead, name); kind != "" {
+		return nil, diskErr(kind, OpRead, name)
+	}
+	return d.base.ReadFile(name)
+}
+
+func (d *DiskChaos) WriteFile(name string, data []byte, perm os.FileMode) error {
+	switch kind := d.match(OpWrite, name); kind {
+	case "":
+	case DiskTornWrite:
+		_ = d.base.WriteFile(name, data[:len(data)/2], perm)
+		return nil
+	case DiskShortWrite:
+		_ = d.base.WriteFile(name, data[:len(data)/2], perm)
+		return diskErr(kind, OpWrite, name)
+	default:
+		return diskErr(kind, OpWrite, name)
+	}
+	return d.base.WriteFile(name, data, perm)
+}
+
+func (d *DiskChaos) ReadDir(name string) ([]os.DirEntry, error) { return d.base.ReadDir(name) }
+
+// chaosFile interposes the armed faults on one open file's write, sync,
+// and read paths.
+type chaosFile struct {
+	storage.File
+	chaos *DiskChaos
+	path  string
+}
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	switch kind := f.chaos.match(OpWrite, f.path); kind {
+	case "":
+	case DiskTornWrite:
+		// Crash-point truncation: persist a prefix but report success.
+		// The caller believes the record committed; only CRC framing or
+		// content hashing can catch it later.
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return len(p), nil
+	case DiskShortWrite:
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, diskErr(kind, OpWrite, f.path)
+	default:
+		return 0, diskErr(kind, OpWrite, f.path)
+	}
+	return f.File.Write(p)
+}
+
+func (f *chaosFile) Sync() error {
+	if kind := f.chaos.match(OpSync, f.path); kind != "" {
+		return diskErr(kind, OpSync, f.path)
+	}
+	return f.File.Sync()
+}
+
+func (f *chaosFile) Read(p []byte) (int, error) {
+	if kind := f.chaos.match(OpRead, f.path); kind != "" {
+		return 0, diskErr(kind, OpRead, f.path)
+	}
+	return f.File.Read(p)
+}

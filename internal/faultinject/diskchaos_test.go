@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"gem5art/internal/database/storage"
+)
+
+func writeThrough(t *testing.T, fs storage.FS, path string, data []byte) error {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestDiskChaosENOSPCOnExactOrdinal(t *testing.T) {
+	dir := t.TempDir()
+	dc := NewDiskChaos(1, nil, DiskRule{Kind: DiskENOSPC, After: 2})
+
+	for i := 0; i < 2; i++ {
+		if err := writeThrough(t, dc, filepath.Join(dir, "a.wal"), []byte("ok\n")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	err := writeThrough(t, dc, filepath.Join(dir, "a.wal"), []byte("boom\n"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("third write err = %v, want ENOSPC", err)
+	}
+	// The rule fires once; writes recover afterwards.
+	if err := writeThrough(t, dc, filepath.Join(dir, "a.wal"), []byte("ok\n")); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+	if got := dc.Fired(DiskENOSPC); got != 1 {
+		t.Fatalf("fired = %d, want 1", got)
+	}
+}
+
+func TestDiskChaosFsyncFailAndPathScope(t *testing.T) {
+	dir := t.TempDir()
+	dc := NewDiskChaos(1, nil, DiskRule{Kind: DiskFsyncFail, PathContains: "runs.wal"})
+
+	// Out-of-scope file syncs fine.
+	if err := writeThrough(t, dc, filepath.Join(dir, "other.wal"), []byte("x")); err != nil {
+		t.Fatalf("out-of-scope: %v", err)
+	}
+	err := writeThrough(t, dc, filepath.Join(dir, "runs.wal"), []byte("x"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("scoped sync err = %v, want EIO", err)
+	}
+	evs := dc.Events()
+	if len(evs) != 1 || evs[0].Op != OpSync || evs[0].Kind != DiskFsyncFail {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestDiskChaosTornWritePersistsPrefixSilently(t *testing.T) {
+	dir := t.TempDir()
+	dc := NewDiskChaos(1, nil, DiskRule{Kind: DiskTornWrite})
+	path := filepath.Join(dir, "j.wal")
+
+	if err := writeThrough(t, dc, path, []byte("0123456789")); err != nil {
+		t.Fatalf("torn write reported failure: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("persisted %q, want the 5-byte prefix", got)
+	}
+	if dc.Fired(DiskTornWrite) != 1 {
+		t.Fatalf("torn write not recorded")
+	}
+}
+
+func TestDiskChaosTornRenameStrandsTmp(t *testing.T) {
+	dir := t.TempDir()
+	dc := NewDiskChaos(1, nil, DiskRule{Kind: DiskTornRename, PathContains: ".jsonl"})
+	tmp := filepath.Join(dir, "runs.jsonl.tmp")
+	final := filepath.Join(dir, "runs.jsonl")
+	if err := os.WriteFile(tmp, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Rename(tmp, final); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename err = %v, want EIO", err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("tmp file should be stranded: %v", err)
+	}
+	if _, err := os.Stat(final); !os.IsNotExist(err) {
+		t.Fatalf("final file should not exist, stat err = %v", err)
+	}
+}
+
+func TestDiskChaosShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	dc := NewDiskChaos(1, nil, DiskRule{Kind: DiskShortWrite})
+	path := filepath.Join(dir, "b.blob")
+
+	err := writeThrough(t, dc, path, []byte("abcdefgh"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("short write err = %v, want EIO", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("persisted %q, want the 4-byte prefix", got)
+	}
+}
+
+func TestDiskChaosDeterministicAcrossRuns(t *testing.T) {
+	run := func() []DiskEvent {
+		dir := t.TempDir()
+		dc := NewDiskChaos(99, nil,
+			DiskRule{Kind: DiskEIO, After: 1, Every: 3, Count: 2, P: 0.7})
+		for i := 0; i < 20; i++ {
+			_ = writeThrough(t, dc, filepath.Join(dir, "x.wal"), []byte("r\n"))
+		}
+		return dc.Events()
+	}
+	a, b := run(), run()
+	strip := func(evs []DiskEvent) []DiskEvent {
+		out := make([]DiskEvent, len(evs))
+		for i, ev := range evs {
+			ev.Path = filepath.Base(ev.Path) // temp dirs differ per run
+			out[i] = ev
+		}
+		return out
+	}
+	aj, _ := json.Marshal(strip(a))
+	bj, _ := json.Marshal(strip(b))
+	if string(aj) != string(bj) {
+		t.Fatalf("same seed produced different schedules:\n%s\n%s", aj, bj)
+	}
+	if len(a) == 0 {
+		t.Fatal("probabilistic rule never fired in 20 writes")
+	}
+}
+
+func TestDiskChaosEventsFeedReport(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(ArtifactsEnv, dir)
+	dc := NewDiskChaos(5, nil, DiskRule{Kind: DiskENOSPC})
+	_ = writeThrough(t, dc, filepath.Join(dir, "w.wal"), []byte("x"))
+
+	path, err := WriteReport("TestDiskReport", 5, nil, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.DiskEvents) != 1 || rep.DiskEvents[0].Kind != DiskENOSPC {
+		t.Fatalf("report disk events = %+v, want one enospc", rep.DiskEvents)
+	}
+}

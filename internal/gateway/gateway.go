@@ -157,7 +157,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request, tenant *T
 		"canceled": 0, "created": now,
 	}); err != nil {
 		g.ctrl.CancelPrefix(tenant.ID, jobPrefix(tenant.ID, launchID))
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		g.writeStoreError(w, err)
 		return
 	}
 	runs := make([]storage.Doc, len(jobs))
@@ -171,7 +171,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request, tenant *T
 	}
 	if err := db.Collection("runs").InsertMany(runs); err != nil {
 		g.ctrl.CancelPrefix(tenant.ID, jobPrefix(tenant.ID, launchID))
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		g.writeStoreError(w, err)
 		return
 	}
 	gwLaunches.With(tenant.ID).Inc()
@@ -313,6 +313,23 @@ func (g *Gateway) writeQuotaError(w http.ResponseWriter, err error) {
 			"reason":      quota.Reason,
 			"limit":       quota.Limit,
 			"retry_after": quota.RetryAfter.Seconds(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+// writeStoreError renders a storage failure. A store that went
+// read-only after a durability failure (disk full, dead disk) is a 503
+// with the degraded reason — the instance is out, not the request —
+// while anything else stays a 500.
+func (g *Gateway) writeStoreError(w http.ResponseWriter, err error) {
+	var deg *storage.DegradedError
+	if errors.As(err, &deg) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":  deg.Error(),
+			"reason": deg.Reason,
+			"status": "storage degraded (read-only)",
 		})
 		return
 	}

@@ -46,7 +46,7 @@ type Scheduler struct {
 
 	onBarrier    func()
 	barrierEvery int
-	windows      uint64 // total windows executed (sync rounds)
+	windows      atomic.Uint64 // total windows executed (sync rounds)
 }
 
 // DefaultMaxWindow is the window used when the component graph has no
@@ -79,9 +79,11 @@ func (s *Scheduler) Components() []*Component { return s.comps }
 // Now returns the simulated time the scheduler has completed through.
 func (s *Scheduler) Now() Tick { return s.now }
 
-// Windows returns the number of synchronization rounds executed so far,
-// for tests and the parsim benchmark's overhead accounting.
-func (s *Scheduler) Windows() uint64 { return s.windows }
+// Windows returns the number of synchronization rounds executed so far.
+// It is safe to call from any goroutine while Run executes — the run
+// watchdog polls it as the liveness signal — as well as from tests and
+// the parsim benchmark's overhead accounting.
+func (s *Scheduler) Windows() uint64 { return s.windows.Load() }
 
 // SetMaxWindow overrides the window length used when no ports bound the
 // lookahead. It has no effect on a linked component graph.
@@ -176,7 +178,7 @@ func (s *Scheduler) RunUntil(limit Tick) Tick {
 				c.windowEvents += c.eq.runWindow(end)
 			}
 		}
-		s.windows++
+		s.windows.Add(1)
 
 		s.deliver(end)
 		s.flushTelemetry(false)

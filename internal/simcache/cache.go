@@ -37,6 +37,17 @@ type Options struct {
 	// 0 disables expiry.
 	TTL time.Duration
 
+	// MinFreeBytes is the disk low-water mark for checkpoint archives:
+	// PutCheckpoint refuses (ErrLowDisk) rather than write a blob that
+	// would leave less than this free. 0 disables the preflight.
+	MinFreeBytes int64
+	// Dir is the filesystem to measure free space on ("" = the current
+	// directory) — point it at the database directory.
+	Dir string
+	// FreeBytes overrides the free-space probe (test hook; nil = statfs
+	// on Dir).
+	FreeBytes func() (int64, error)
+
 	now func() time.Time // test hook
 }
 

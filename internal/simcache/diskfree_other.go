@@ -1,0 +1,11 @@
+//go:build !linux
+
+package simcache
+
+import "math"
+
+// diskFree has no portable implementation off Linux; report unlimited
+// so the low-water preflight never blocks where it cannot measure.
+func diskFree(string) (int64, error) {
+	return math.MaxInt64, nil
+}

@@ -297,7 +297,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	c := New(memDB(t), Options{})
 	class := BootClass{KernelHash: "kern", DiskHash: "disk", Cores: 2, Mem: "classic"}
 	blob := []byte("G5CK fake checkpoint payload")
-	hash := c.PutCheckpoint(class, "cpt.1", blob)
+	hash, _ := c.PutCheckpoint(class, "cpt.1", blob)
 	got, gotHash, err := c.Checkpoint(class)
 	if err != nil || gotHash != hash || string(got) != string(blob) {
 		t.Fatalf("checkpoint round trip: %q %s %v", got, gotHash, err)

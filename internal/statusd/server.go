@@ -8,6 +8,7 @@ package statusd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -20,6 +21,7 @@ import (
 	"gem5art/internal/core/tasks"
 	"gem5art/internal/core/tasks/shard"
 	"gem5art/internal/database"
+	"gem5art/internal/database/storage"
 	"gem5art/internal/simcache"
 	"gem5art/internal/telemetry"
 	"gem5art/internal/version"
@@ -43,6 +45,9 @@ type Server struct {
 	Broker   *tasks.Broker
 	Cache    *simcache.Cache
 	Fleet    *shard.Fleet
+	// Scrubber, when set, exposes the background integrity scrubber's
+	// last report on /api/scrub and summarizes it in /healthz.
+	Scrubber *database.Scrubber
 	// ShardURLs are backend statusd base URLs (e.g. "http://host:port")
 	// this instance aggregates over in front-tier mode.
 	ShardURLs []string
@@ -106,6 +111,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/broker", s.brokerState)
 	mux.HandleFunc("GET /api/shards", s.shardMap)
 	mux.HandleFunc("GET /api/cache", s.cacheStats)
+	mux.HandleFunc("GET /api/scrub", s.scrubReport)
 	mux.HandleFunc("GET /api/cache/checkpoints/{hash}", s.cacheCheckpoint)
 	mux.HandleFunc("GET /api/events", s.events)
 	return mux
@@ -186,10 +192,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // just that it is.
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	var reasons []string
+	var storageReason string
 	if s.DB != nil {
 		if h, ok := s.DB.(interface{ Health() error }); ok {
 			if err := h.Health(); err != nil {
 				reasons = append(reasons, "database: "+err.Error())
+				var deg *storage.DegradedError
+				if errors.As(err, &deg) {
+					storageReason = deg.Reason
+				}
 			}
 		}
 	}
@@ -206,6 +217,19 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.Start).Seconds(),
 		"database":       s.DB != nil,
 		"broker":         s.Broker != nil,
+	}
+	if storageReason != "" {
+		body["storage_degraded"] = storageReason
+	}
+	if s.Scrubber != nil {
+		if rep := s.Scrubber.LastReport(); rep != nil {
+			body["scrub"] = map[string]any{
+				"last_run":    rep.Start,
+				"corrupt":     rep.Corrupt,
+				"quarantined": len(rep.Quarantined),
+				"repaired":    len(rep.Repaired),
+			}
+		}
 	}
 	if s.Fleet != nil {
 		body["shards"] = s.Fleet.Shards()
@@ -394,6 +418,22 @@ func (s *Server) cacheStats(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Cache.Stats())
+}
+
+// scrubReport serves the background integrity scrubber's most recent
+// report — journals verified, blobs re-hashed, corruption quarantined
+// and repaired.
+func (s *Server) scrubReport(w http.ResponseWriter, _ *http.Request) {
+	if s.Scrubber == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no scrubber attached"})
+		return
+	}
+	rep := s.Scrubber.LastReport()
+	if rep == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "no scrub pass completed yet"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // cacheCheckpoint serves a boot-class checkpoint blob by content hash —

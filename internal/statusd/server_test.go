@@ -271,7 +271,7 @@ func TestCacheCheckpointEndpoint(t *testing.T) {
 	s.Cache = simcache.New(s.DB, simcache.Options{})
 	class := simcache.BootClass{KernelHash: "k", DiskHash: "d", Cores: 1, Mem: "classic"}
 	blob := []byte("G5CK pretend checkpoint payload")
-	hash := s.Cache.PutCheckpoint(class, "bootclass/test/cpt.1", blob)
+	hash, _ := s.Cache.PutCheckpoint(class, "bootclass/test/cpt.1", blob)
 
 	resp, err := http.Get(ts.URL + "/api/cache/checkpoints/" + hash)
 	if err != nil {
